@@ -1,0 +1,106 @@
+"""E8 / ablation: what each piece of the BHMR control state buys.
+
+The protocol's design (DESIGN.md) has two discretionary components over
+FDAS: the ``causal`` matrix (detects existing causal siblings, powering
+C1's restraint) and the ``simple`` vector (sharpens the same-process
+test C2).  Removing them one at a time is exactly the paper's section
+5.1 variant ladder:
+
+    full (C1 v C2)  ->  no simple (C1 v C2')  ->  causal only (C1, false
+    diagonal)  ->  FDAS (no matrix at all)
+
+Measured across the three environments: each removal may only increase
+forced checkpoints, and the biggest single win comes from the causal
+matrix in causally-rich environments (client/server).
+"""
+
+import pytest
+
+from repro.harness import compare_protocols, render_table
+from repro.sim import SimulationConfig
+from repro.workloads import (
+    ClientServerWorkload,
+    MasterWorkerWorkload,
+    OverlappingGroupsWorkload,
+    RandomUniformWorkload,
+)
+
+LADDER = ["bhmr", "bhmr-nosimple", "bhmr-causalonly", "fdas"]
+
+ENVIRONMENTS = {
+    "random": (
+        lambda: RandomUniformWorkload(send_rate=1.5),
+        SimulationConfig(n=6, duration=50.0, basic_rate=0.2),
+    ),
+    "groups": (
+        lambda: OverlappingGroupsWorkload(group_size=3, overlap=1),
+        SimulationConfig(n=9, duration=50.0, basic_rate=0.2),
+    ),
+    "client/server": (
+        lambda: ClientServerWorkload(think_time=0.3, pipeline=2),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.2),
+    ),
+    "master/worker": (
+        lambda: MasterWorkerWorkload(),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.2),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return {
+        name: compare_protocols(make, cfg, LADDER, seeds=(0, 1, 2), scenario=name)
+        for name, (make, cfg) in ENVIRONMENTS.items()
+    }
+
+
+def test_variant_ladder(benchmark, emit, ablation):
+    rows = []
+    for env, comp in ablation.items():
+        row = {"environment": env}
+        for proto in LADDER:
+            row[proto] = comp.aggregate(proto).forced_total
+        rows.append(row)
+    emit(render_table(rows, title="Ablation -- forced checkpoints per variant"))
+    for env, comp in ablation.items():
+        forced = {p: comp.aggregate(p).forced_total for p in LADDER}
+        # Dropping knowledge can only cost forced checkpoints (small
+        # slack: executions diverge after the first differing decision).
+        slack = 1.05
+        assert forced["bhmr"] <= forced["bhmr-nosimple"] * slack, env
+        assert forced["bhmr-nosimple"] <= forced["bhmr-causalonly"] * slack, env
+        assert forced["bhmr-causalonly"] <= forced["fdas"] * slack, env
+    # The causal matrix is what wins client/server (sibling detection).
+    cs = ablation["client/server"]
+    assert (
+        cs.aggregate("bhmr").forced_total
+        < 0.6 * cs.aggregate("fdas").forced_total
+    )
+    make, cfg = ENVIRONMENTS["random"]
+    benchmark(lambda: compare_protocols(make, cfg, ["bhmr"], seeds=(0,)))
+
+
+def test_predicate_attribution(benchmark, emit):
+    """Which predicate does the forcing?  C1 dominates everywhere; C2's
+    share grows where request/reply chains re-enter intervals."""
+    from repro.sim import Simulation, SimulationConfig
+
+    rows = []
+    for env, (make, base_cfg) in ENVIRONMENTS.items():
+        cfg = SimulationConfig(**{**base_cfg.__dict__, "seed": 0})
+        res = Simulation(make(), cfg).run("bhmr")
+        c1 = sum(p.c1_fires for p in res.family.members)
+        c2 = sum(p.c2_fires for p in res.family.members)
+        forced = res.metrics.forced_checkpoints
+        rows.append(
+            {"environment": env, "forced": forced, "C1 fired": c1,
+             "C2 fired": c2}
+        )
+    emit(render_table(rows, title="Forced-checkpoint attribution (bhmr)"))
+    for row in rows:
+        assert row["C1 fired"] + row["C2 fired"] >= row["forced"]
+    make, cfg = ENVIRONMENTS["random"]
+    benchmark(
+        lambda: compare_protocols(make, cfg, ["bhmr"], seeds=(0,))
+    )

@@ -1,0 +1,68 @@
+"""Performance benchmarks of the analysis substrate itself.
+
+Not a paper artifact, but the practical cost profile a downstream user
+cares about: R-graph closure, RDT verification (both characterizations),
+zigzag reachability and recovery-line computation on a mid-size run.
+"""
+
+import pytest
+
+from repro.analysis import check_rdt, useless_checkpoints
+from repro.graph import RGraph, ZPathAnalyzer
+from repro.recovery import recovery_line
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+
+@pytest.fixture(scope="module")
+def history():
+    sim = Simulation(
+        RandomUniformWorkload(send_rate=2.0),
+        SimulationConfig(n=8, duration=80.0, basic_rate=0.3, seed=2),
+    )
+    return sim.run("bhmr").history
+
+
+def test_rgraph_closure(benchmark, history):
+    def build():
+        rg = RGraph(history)
+        first = next(iter(history.checkpoint_ids()))
+        rg.reachable_set(first)
+        return rg
+
+    rg = benchmark(build)
+    assert rg.num_nodes() > 50
+
+
+def test_check_rdt_tdv(benchmark, history):
+    report = benchmark(lambda: check_rdt(history, method="tdv"))
+    assert report.holds
+
+
+def test_check_rdt_chains(benchmark, history):
+    report = benchmark(lambda: check_rdt(history, method="chains"))
+    assert report.holds
+
+
+def test_zigzag_single_source(benchmark, history):
+    analyzer = ZPathAnalyzer(history)
+    source = next(iter(history.checkpoint_ids()))
+    benchmark(lambda: analyzer.reach(source, causal=False))
+
+
+def test_useless_checkpoint_scan(benchmark, history):
+    result = benchmark(lambda: useless_checkpoints(history))
+    assert result == []
+
+
+def test_recovery_line(benchmark, history):
+    line = benchmark(lambda: recovery_line(history, [0]))
+    assert set(line.cut) == set(range(history.num_processes))
+
+
+def test_check_rdt_vectorized(benchmark, history):
+    report = benchmark(lambda: check_rdt(history, method="vectorized"))
+    assert report.holds
+    # Must agree with the scalar method bit for bit.
+    scalar = check_rdt(history, method="tdv")
+    assert report.checked_pairs == scalar.checked_pairs

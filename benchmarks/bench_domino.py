@@ -1,0 +1,86 @@
+"""E7 / section 1 motivation: the domino effect, and why RDT kills it.
+
+Two measurements:
+
+* the hand-built adversarial ping-pong pattern (Randell's construction):
+  under independent checkpointing the rollback cascade grows linearly
+  with the number of rounds -- the *unbounded* domino effect;
+* the same traffic shapes replayed under a CIC protocol: forced
+  checkpoints break every chain and the cascade stays flat.
+"""
+
+import pytest
+
+from repro.events import ping_pong_domino_pattern
+from repro.harness import render_series, render_table
+from repro.recovery import domino_depth, domino_report
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+ROUNDS = [2, 5, 10, 20]
+
+
+def test_unbounded_domino_on_adversarial_pattern(benchmark, emit):
+    depths = [domino_depth(ping_pong_domino_pattern(r), crashed=0) for r in ROUNDS]
+    emit(
+        render_series(
+            "rounds",
+            ROUNDS,
+            {"cascade depth (independent)": depths},
+            title="Domino effect -- adversarial ping-pong, no protocol",
+        )
+    )
+    # Linear, unbounded growth: each extra round costs one more rollback.
+    assert all(b > a for a, b in zip(depths, depths[1:]))
+    assert depths[-1] >= ROUNDS[-1]
+    benchmark(lambda: domino_depth(ping_pong_domino_pattern(20), crashed=0))
+
+
+@pytest.fixture(scope="module")
+def traffic_runs():
+    """Worst-case lost work (events undone) per single crash, per seed.
+
+    Events undone -- not checkpoints discarded -- is the cross-protocol
+    comparable metric: a CIC protocol takes *more* checkpoints, so it may
+    discard more of them while losing far less work.
+    """
+    from repro.recovery import recovery_line
+
+    runs = {}
+    for proto in ("independent", "bhmr"):
+        lost = []
+        for seed in range(4):
+            sim = Simulation(
+                RandomUniformWorkload(send_rate=2.0),
+                SimulationConfig(n=3, duration=30.0, seed=seed, basic_rate=0.5),
+            )
+            history = sim.run(proto).history
+            lost.append(
+                max(recovery_line(history, [p]).events_undone for p in range(3))
+            )
+        runs[proto] = lost
+    return runs
+
+
+def test_rdt_bounds_the_cascade(benchmark, emit, traffic_runs):
+    rows = [
+        {
+            "protocol": proto,
+            "worst events undone per seed": str(lost),
+            "total": sum(lost),
+        }
+        for proto, lost in traffic_runs.items()
+    ]
+    emit(render_table(rows, title="Worst-case lost work (random traffic, n=3)"))
+    # Under RDT the recovery line hugs the crash point; independent
+    # checkpointing loses at least as much work on every seed and far
+    # more in aggregate.
+    for bhmr_lost, indep_lost in zip(traffic_runs["bhmr"], traffic_runs["independent"]):
+        assert bhmr_lost <= indep_lost
+    assert sum(traffic_runs["independent"]) >= 2 * sum(traffic_runs["bhmr"])
+    sim = Simulation(
+        RandomUniformWorkload(send_rate=2.0),
+        SimulationConfig(n=3, duration=30.0, seed=0, basic_rate=0.5),
+    )
+    history = sim.run("bhmr").history
+    benchmark(lambda: domino_report(history))

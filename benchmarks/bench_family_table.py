@@ -1,0 +1,73 @@
+"""E4 / section 5.2: the protocol family, measured side by side.
+
+Regenerates the generality-ordering comparison: every protocol of the
+RDT family (plus the independent baseline) replayed over the same
+traces, with forced-checkpoint counts, R, piggyback overhead and an RDT
+verification column.  The paper's ordering
+
+    bhmr <= bhmr-nosimple <= bhmr-causalonly <= fdas <= {fdi, nras} <= cbr/cas
+
+must show in the measured counts.
+"""
+
+import pytest
+
+from repro.core import RDT_FAMILY
+from repro.harness import compare_protocols, render_table
+from repro.sim import SimulationConfig
+from repro.workloads import (
+    ClientServerWorkload,
+    OverlappingGroupsWorkload,
+    RandomUniformWorkload,
+)
+
+ALL = RDT_FAMILY + ["independent"]
+
+ENVIRONMENTS = {
+    "random (n=6)": (
+        lambda: RandomUniformWorkload(send_rate=1.5),
+        SimulationConfig(n=6, duration=50.0, basic_rate=0.2),
+    ),
+    "groups (n=9)": (
+        lambda: OverlappingGroupsWorkload(group_size=3, overlap=1),
+        SimulationConfig(n=9, duration=50.0, basic_rate=0.2),
+    ),
+    "client/server (n=6)": (
+        lambda: ClientServerWorkload(think_time=0.3, pipeline=2),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.2),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return {
+        name: compare_protocols(
+            make, cfg, ALL, seeds=(0, 1), scenario=name, verify_rdt=True
+        )
+        for name, (make, cfg) in ENVIRONMENTS.items()
+    }
+
+
+def test_family_table(benchmark, emit, comparisons):
+    for name, comp in comparisons.items():
+        emit(render_table(comp.rows(), title=f"Protocol family -- {name}"))
+    for name, comp in comparisons.items():
+        forced = {a.protocol: a.forced_total for a in comp.protocols}
+        # The paper's conservativeness chain, measured.
+        assert forced["bhmr"] <= forced["fdas"], name
+        assert forced["bhmr-nosimple"] <= forced["fdas"], name
+        assert forced["bhmr-causalonly"] <= forced["fdas"], name
+        assert forced["fdas"] <= forced["nras"], name
+        assert forced["fdas"] <= forced["fdi"], name
+        assert forced["nras"] <= forced["cbr"], name
+        assert forced["fdi"] <= forced["cbr"], name
+        assert forced["independent"] == 0, name
+        # Every member of the RDT family verified RDT on its patterns.
+        for agg in comp.protocols:
+            if agg.protocol != "independent":
+                assert agg.rdt_ok, (name, agg.protocol)
+    make, cfg = ENVIRONMENTS["random (n=6)"]
+    benchmark(
+        lambda: compare_protocols(make, cfg, ["bhmr", "fdas"], seeds=(0,))
+    )

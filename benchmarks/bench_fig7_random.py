@@ -1,0 +1,96 @@
+"""E1 / Figure 7: forced-checkpoint ratio R in the random environment.
+
+Regenerates the paper's general-environment figure: R = forced(P) /
+forced(FDAS) for the BHMR protocol and its two variants, as a function
+of (a) the basic-checkpoint rate and (b) the number of processes.
+
+Paper's reported shape: R < 1 everywhere (BHMR strictly less
+conservative than FDAS); the reduction is smallest in unstructured
+random traffic and shrinks as n grows (fewer causal siblings per pair).
+"""
+
+import pytest
+
+from repro.harness import ratio_sweep, render_series
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
+SEEDS = (0, 1, 2)
+
+
+def scenario_at_rate(rate):
+    return (
+        lambda: RandomUniformWorkload(send_rate=1.0),
+        SimulationConfig(n=8, duration=60.0, basic_rate=rate),
+    )
+
+
+def scenario_at_n(n):
+    return (
+        lambda: RandomUniformWorkload(send_rate=1.0),
+        SimulationConfig(n=n, duration=60.0, basic_rate=0.2),
+    )
+
+
+@pytest.fixture(scope="module")
+def rate_sweep():
+    return ratio_sweep(
+        "basic_rate",
+        [0.05, 0.1, 0.2, 0.5, 1.0],
+        scenario_at_rate,
+        PROTOCOLS,
+        seeds=SEEDS,
+    )
+
+
+@pytest.fixture(scope="module")
+def n_sweep():
+    return ratio_sweep("n", [4, 8, 12, 16], scenario_at_n, PROTOCOLS, seeds=SEEDS)
+
+
+def test_fig7_ratio_vs_checkpoint_rate(benchmark, emit, rate_sweep):
+    emit(
+        render_series(
+            "basic_rate",
+            rate_sweep.xs,
+            rate_sweep.ratio_series(),
+            title="Figure 7a -- R vs basic checkpoint rate (random, n=8)",
+        )
+    )
+    # Shape: BHMR (and variants) never forces more than FDAS.
+    for protocol in PROTOCOLS:
+        assert rate_sweep.max_ratio(protocol) <= 1.0, protocol
+    # The full protocol is the least conservative of the family.
+    for r_full, r_v1 in zip(
+        rate_sweep.ratio_series()["bhmr"],
+        rate_sweep.ratio_series()["bhmr-nosimple"],
+    ):
+        assert r_full <= r_v1 + 0.02
+    benchmark(
+        lambda: Simulation(
+            RandomUniformWorkload(send_rate=1.0),
+            SimulationConfig(n=8, duration=60.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )
+
+
+def test_fig7_ratio_vs_process_count(benchmark, emit, n_sweep):
+    emit(
+        render_series(
+            "n",
+            n_sweep.xs,
+            n_sweep.ratio_series(),
+            title="Figure 7b -- R vs number of processes (random)",
+        )
+    )
+    for protocol in PROTOCOLS:
+        assert n_sweep.max_ratio(protocol) <= 1.0, protocol
+    # BHMR strictly wins somewhere in the sweep.
+    assert n_sweep.min_ratio("bhmr") < 1.0
+    benchmark(
+        lambda: Simulation(
+            RandomUniformWorkload(send_rate=1.0),
+            SimulationConfig(n=16, duration=60.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )

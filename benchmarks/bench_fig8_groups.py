@@ -1,0 +1,89 @@
+"""E2 / Figure 8: R in overlapping group communication environments.
+
+The paper's Figure 8 reports the forced-checkpoint ratio when processes
+communicate mostly within overlapping groups.  Swept here: the overlap
+between consecutive groups and the multicast intensity -- the two knobs
+that govern how much causal knowledge crosses group boundaries (which is
+what the BHMR ``causal`` matrix exploits).
+"""
+
+import pytest
+
+from repro.harness import ratio_sweep, render_series
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import OverlappingGroupsWorkload
+
+PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
+SEEDS = (0, 1, 2)
+N = 12
+
+
+def scenario_at_overlap(overlap):
+    return (
+        lambda: OverlappingGroupsWorkload(
+            group_size=4, overlap=overlap, send_rate=1.0, p_multicast=0.4
+        ),
+        SimulationConfig(n=N, duration=60.0, basic_rate=0.2),
+    )
+
+
+def scenario_at_multicast(p):
+    return (
+        lambda: OverlappingGroupsWorkload(
+            group_size=4, overlap=1, send_rate=1.0, p_multicast=p
+        ),
+        SimulationConfig(n=N, duration=60.0, basic_rate=0.2),
+    )
+
+
+@pytest.fixture(scope="module")
+def overlap_sweep():
+    return ratio_sweep(
+        "overlap", [0, 1, 2], scenario_at_overlap, PROTOCOLS, seeds=SEEDS
+    )
+
+
+@pytest.fixture(scope="module")
+def multicast_sweep():
+    return ratio_sweep(
+        "p_multicast", [0.0, 0.3, 0.7], scenario_at_multicast, PROTOCOLS, seeds=SEEDS
+    )
+
+
+def test_fig8_ratio_vs_overlap(benchmark, emit, overlap_sweep):
+    emit(
+        render_series(
+            "overlap",
+            overlap_sweep.xs,
+            overlap_sweep.ratio_series(),
+            title=f"Figure 8a -- R vs group overlap (groups of 4, n={N})",
+        )
+    )
+    for protocol in PROTOCOLS:
+        assert overlap_sweep.max_ratio(protocol) <= 1.0, protocol
+    assert overlap_sweep.min_ratio("bhmr") < 1.0
+    benchmark(
+        lambda: Simulation(
+            OverlappingGroupsWorkload(group_size=4, overlap=1),
+            SimulationConfig(n=N, duration=60.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )
+
+
+def test_fig8_ratio_vs_multicast(benchmark, emit, multicast_sweep):
+    emit(
+        render_series(
+            "p_multicast",
+            multicast_sweep.xs,
+            multicast_sweep.ratio_series(),
+            title=f"Figure 8b -- R vs multicast intensity (n={N})",
+        )
+    )
+    for protocol in PROTOCOLS:
+        assert multicast_sweep.max_ratio(protocol) <= 1.0, protocol
+    benchmark(
+        lambda: Simulation(
+            OverlappingGroupsWorkload(group_size=4, overlap=1, p_multicast=0.7),
+            SimulationConfig(n=N, duration=60.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )

@@ -1,0 +1,87 @@
+"""E3 / Figure 9: R in client/server environments.
+
+The paper singles this environment out: "the causal past of any message
+contains all the messages of the computation", so a protocol that uses
+causal knowledge (BHMR) should dominate FDAS most clearly here.  Swept:
+the length of the server chain and the client think time.
+
+Expected shape (and the paper's): R far below 1 -- the environment where
+the BHMR protocol wins biggest.
+"""
+
+import pytest
+
+from repro.harness import ratio_sweep, render_series
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import ClientServerWorkload
+
+PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
+SEEDS = (0, 1, 2)
+
+
+def scenario_at_n(n):
+    return (
+        lambda: ClientServerWorkload(think_time=0.3, pipeline=2),
+        SimulationConfig(n=n, duration=80.0, basic_rate=0.2),
+    )
+
+
+def scenario_at_think(think):
+    return (
+        lambda: ClientServerWorkload(think_time=think, pipeline=2),
+        SimulationConfig(n=6, duration=80.0, basic_rate=0.2),
+    )
+
+
+@pytest.fixture(scope="module")
+def n_sweep():
+    return ratio_sweep("n", [3, 6, 9, 12], scenario_at_n, PROTOCOLS, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def think_sweep():
+    return ratio_sweep(
+        "think_time", [0.1, 0.5, 2.0], scenario_at_think, PROTOCOLS, seeds=SEEDS
+    )
+
+
+def test_fig9_ratio_vs_chain_length(benchmark, emit, n_sweep):
+    emit(
+        render_series(
+            "n",
+            n_sweep.xs,
+            n_sweep.ratio_series(),
+            title="Figure 9a -- R vs number of servers (client/server)",
+        )
+    )
+    for protocol in PROTOCOLS:
+        assert n_sweep.max_ratio(protocol) <= 1.0, protocol
+    # The paper's strongest claim lives here: a clear win, well beyond
+    # the 10% floor it reports across environments.
+    assert n_sweep.min_ratio("bhmr") < 0.9
+    benchmark(
+        lambda: Simulation(
+            ClientServerWorkload(think_time=0.3, pipeline=2),
+            SimulationConfig(n=6, duration=80.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )
+
+
+def test_fig9_ratio_vs_think_time(benchmark, emit, think_sweep):
+    emit(
+        render_series(
+            "think_time",
+            think_sweep.xs,
+            think_sweep.ratio_series(),
+            title="Figure 9b -- R vs client think time (n=6)",
+        )
+    )
+    for protocol in PROTOCOLS:
+        assert think_sweep.max_ratio(protocol) <= 1.0, protocol
+    assert think_sweep.min_ratio("bhmr") < 0.9
+    benchmark(
+        lambda: Simulation(
+            ClientServerWorkload(think_time=0.5, pipeline=2),
+            SimulationConfig(n=6, duration=80.0, basic_rate=0.2, seed=0),
+        ).run("bhmr")
+    )

@@ -1,0 +1,60 @@
+"""E6 / Corollary 4.5: minimum consistent global checkpoints on the fly.
+
+The BHMR protocol associates with every checkpoint, at zero extra cost,
+the minimum consistent global checkpoint containing it (the saved TDV).
+This bench (a) verifies the claim against the offline fixpoint on every
+checkpoint of a sizable run and (b) times the on-the-fly lookup against
+the offline computation -- the speedup is the practical content of the
+corollary.
+"""
+
+import pytest
+
+from repro.analysis import min_consistent_gcp
+from repro.events.event import CheckpointKind
+from repro.sim import Simulation, SimulationConfig
+from repro.types import CheckpointId
+from repro.workloads import RandomUniformWorkload
+
+
+@pytest.fixture(scope="module")
+def run():
+    sim = Simulation(
+        RandomUniformWorkload(send_rate=1.5),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.3, seed=1),
+    )
+    return sim.run("bhmr")
+
+
+def _protocol_checkpoints(run):
+    out = []
+    for pid in range(run.history.num_processes):
+        for ev in run.history.checkpoints(pid):
+            if ev.checkpoint_kind is not CheckpointKind.FINAL:
+                out.append(CheckpointId(pid, ev.checkpoint_index))
+    return out
+
+
+def test_corollary_45_equality(benchmark, emit, run):
+    cids = _protocol_checkpoints(run)
+    mismatches = 0
+    for cid in cids:
+        claimed = run.family[cid.pid].min_gcp_of(cid.index)
+        exact = min_consistent_gcp(run.history, [cid])
+        if claimed != exact:
+            mismatches += 1
+    emit(
+        f"Corollary 4.5 -- {len(cids)} checkpoints, "
+        f"{mismatches} mismatches between on-the-fly and offline min-GCP"
+    )
+    assert mismatches == 0
+    sample = cids[: max(1, len(cids) // 10)]
+    benchmark(lambda: [min_consistent_gcp(run.history, [c]) for c in sample])
+
+
+def test_on_the_fly_lookup_speed(benchmark, run):
+    cids = _protocol_checkpoints(run)
+    result = benchmark(
+        lambda: [run.family[c.pid].min_gcp_of(c.index) for c in cids]
+    )
+    assert len(result) == len(cids)

@@ -1,0 +1,100 @@
+"""E5 / section 5.2: the piggyback-overhead side of the trade.
+
+"The price to be paid is in terms of increased size of piggybacked
+information": FDAS ships ``n`` integers per message, the BHMR protocol
+adds ``n^2 + n`` bits (causal matrix + simple vector), variant 1 saves
+the ``n`` simple bits, the classical protocols ship nothing.  This bench
+measures bits/message next to forced checkpoints (the quantity the
+overhead buys down), and contrasts with Chandy-Lamport's *control
+messages* -- the cost CIC avoids entirely.
+"""
+
+import pytest
+
+from repro.core import run_chandy_lamport
+from repro.harness import compare_protocols, render_table
+from repro.sim import SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+N = 8
+PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly", "fdas", "nras", "cbr"]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_protocols(
+        lambda: RandomUniformWorkload(send_rate=1.5),
+        SimulationConfig(n=N, duration=60.0, basic_rate=0.2),
+        PROTOCOLS,
+        seeds=(0, 1, 2),
+        scenario="overhead",
+    )
+
+
+def test_overhead_table(benchmark, emit, comparison):
+    rows = [
+        {
+            "protocol": agg.protocol,
+            "bits/msg": round(agg.piggyback_bits_per_message, 1),
+            "forced": agg.forced_total,
+            "R": None
+            if agg.ratio_to_baseline is None
+            else round(agg.ratio_to_baseline, 3),
+        }
+        for agg in comparison.protocols
+    ]
+    emit(render_table(rows, title=f"Piggyback overhead vs forcing (random, n={N})"))
+    bits = {
+        a.protocol: a.piggyback_bits_per_message for a in comparison.protocols
+    }
+    # Exact wire sizes (section 5.2's accounting).
+    assert bits["fdas"] == pytest.approx(32 * N)
+    assert bits["bhmr"] == pytest.approx(32 * N + N * N + N)
+    assert bits["bhmr-nosimple"] == pytest.approx(32 * N + N * N)
+    assert bits["nras"] == 0 and bits["cbr"] == 0
+    # The overhead buys fewer forced checkpoints, never more.
+    forced = {a.protocol: a.forced_total for a in comparison.protocols}
+    assert forced["bhmr"] <= forced["fdas"] <= forced["nras"] <= forced["cbr"]
+    benchmark(
+        lambda: compare_protocols(
+            lambda: RandomUniformWorkload(send_rate=1.5),
+            SimulationConfig(n=N, duration=20.0, basic_rate=0.2),
+            ["bhmr"],
+            seeds=(0,),
+        )
+    )
+
+
+def test_control_message_contrast(benchmark, emit):
+    """CIC sends zero control messages; coordinated snapshots pay
+    n(n-1) markers per snapshot."""
+    result = run_chandy_lamport(
+        RandomUniformWorkload(send_rate=1.5),
+        n=N,
+        duration=60.0,
+        seed=0,
+        snapshot_period=10.0,
+    )
+    rows = [
+        {
+            "approach": "chandy-lamport",
+            "snapshots": len(result.snapshots),
+            "control msgs": result.control_messages,
+            "ctrl/snapshot": round(
+                result.control_messages / max(len(result.snapshots), 1), 1
+            ),
+        },
+        {"approach": "any CIC protocol", "snapshots": "-", "control msgs": 0,
+         "ctrl/snapshot": 0.0},
+    ]
+    emit(render_table(rows, title="Control-message cost of coordination"))
+    assert result.control_messages == len(result.snapshots) * N * (N - 1)
+    benchmark(
+        lambda: run_chandy_lamport(
+            RandomUniformWorkload(send_rate=1.5),
+            n=N,
+            duration=20.0,
+            seed=0,
+            snapshot_period=10.0,
+        )
+    )

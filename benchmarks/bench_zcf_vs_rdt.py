@@ -1,0 +1,66 @@
+"""E10 (context): the price of RDT relative to mere Z-cycle freedom.
+
+The RDT literature positions itself against index-based protocols (BCS)
+that only guarantee no checkpoint is useless.  This bench quantifies the
+ladder of guarantees on identical traffic:
+
+    independent  <  bcs (ZCF)  <  bhmr (RDT)  <=  fdas (RDT)
+
+in forced checkpoints, and verifies each level delivers exactly its
+promise (useless checkpoints / RDT verified offline per run).
+"""
+
+import pytest
+
+from repro.analysis import check_rdt, useless_checkpoints
+from repro.harness import render_table
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+PROTOCOLS = ["independent", "bcs", "bhmr", "fdas"]
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {name: [] for name in PROTOCOLS}
+    for seed in SEEDS:
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=2.0),
+            SimulationConfig(n=5, duration=40.0, seed=seed, basic_rate=0.3),
+        )
+        for name in PROTOCOLS:
+            out[name].append(sim.run(name))
+    return out
+
+
+def test_guarantee_ladder(benchmark, emit, runs):
+    rows = []
+    for name in PROTOCOLS:
+        forced = sum(r.metrics.forced_checkpoints for r in runs[name])
+        useless = sum(len(useless_checkpoints(r.history)) for r in runs[name])
+        rdt_ok = all(check_rdt(r.history).holds for r in runs[name])
+        rows.append(
+            {
+                "protocol": name,
+                "forced": forced,
+                "useless": useless,
+                "RDT": "yes" if rdt_ok else "no",
+            }
+        )
+    emit(render_table(rows, title="Guarantee ladder (random, n=5, 3 seeds)"))
+    by_name = {row["protocol"]: row for row in rows}
+    # Price ordering.
+    assert by_name["independent"]["forced"] == 0
+    assert by_name["bcs"]["forced"] <= by_name["bhmr"]["forced"]
+    assert by_name["bhmr"]["forced"] <= by_name["fdas"]["forced"]
+    # Each level delivers its promise.
+    assert by_name["independent"]["useless"] > 0  # dense traffic wastes ckpts
+    assert by_name["bcs"]["useless"] == 0 and by_name["bcs"]["RDT"] == "no"
+    assert by_name["bhmr"]["useless"] == 0 and by_name["bhmr"]["RDT"] == "yes"
+    benchmark(
+        lambda: Simulation(
+            RandomUniformWorkload(send_rate=2.0),
+            SimulationConfig(n=5, duration=40.0, seed=0, basic_rate=0.3),
+        ).run("bcs")
+    )

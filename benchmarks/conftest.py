@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(DESIGN.md's per-experiment index) and *prints* the same rows/series the
+paper reports -- the ``emit`` fixture writes through pytest's capture so
+the tables appear in ``bench_output.txt``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print ``text`` directly to the terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

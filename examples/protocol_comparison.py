@@ -1,0 +1,55 @@
+"""The paper's evaluation in miniature: the whole family, three environments.
+
+    python examples/protocol_comparison.py
+
+Replays identical traces under every protocol of the RDT family, in the
+three environments of the paper's section 5.3, and prints forced
+checkpoint counts, the ratio R to FDAS, and piggyback overhead -- the
+same quantities Figures 7-9 report.
+"""
+
+from repro.core import RDT_FAMILY
+from repro.harness import compare_protocols, render_table
+from repro.sim import SimulationConfig
+from repro.workloads import (
+    ClientServerWorkload,
+    OverlappingGroupsWorkload,
+    RandomUniformWorkload,
+)
+
+ENVIRONMENTS = {
+    "random point-to-point (n=6)": (
+        lambda: RandomUniformWorkload(send_rate=1.5),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.2),
+    ),
+    "overlapping groups (n=9, groups of 3, overlap 1)": (
+        lambda: OverlappingGroupsWorkload(group_size=3, overlap=1),
+        SimulationConfig(n=9, duration=60.0, basic_rate=0.2),
+    ),
+    "client/server chain (n=6)": (
+        lambda: ClientServerWorkload(think_time=0.3, pipeline=2),
+        SimulationConfig(n=6, duration=60.0, basic_rate=0.2),
+    ),
+}
+
+
+def main() -> None:
+    for name, (make_workload, config) in ENVIRONMENTS.items():
+        comparison = compare_protocols(
+            make_workload,
+            config,
+            RDT_FAMILY,
+            seeds=(0, 1, 2),
+            scenario=name,
+            verify_rdt=True,
+        )
+        print(render_table(comparison.rows(), title=name))
+        r = comparison.ratio("bhmr")
+        print(
+            f"  -> BHMR vs FDAS: R = {r:.3f} "
+            f"({(1 - r) * 100:.1f}% fewer forced checkpoints)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

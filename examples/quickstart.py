@@ -1,0 +1,54 @@
+"""Quickstart: run the BHMR protocol over random traffic and inspect it.
+
+    python examples/quickstart.py
+
+Covers the 90%-use-case API in ~40 lines: configure a scenario, replay
+it under a protocol, verify Rollback-Dependency Trackability offline,
+and read the metrics the paper reports.
+"""
+
+from repro import SimulationConfig, Simulation, check_rdt
+from repro.harness import render_table
+from repro.workloads import RandomUniformWorkload
+
+
+def main() -> None:
+    # A scenario: 4 processes, random point-to-point traffic, basic
+    # (autonomous) checkpoints roughly every 5 time units per process.
+    config = SimulationConfig(n=4, duration=100.0, seed=42, basic_rate=0.2)
+    sim = Simulation(RandomUniformWorkload(send_rate=1.0), config)
+
+    # Replay the same communication pattern under the paper's protocol
+    # and under FDAS, its strongest predecessor.
+    rows = []
+    for protocol in ("bhmr", "fdas", "independent"):
+        result = sim.run(protocol)
+        report = check_rdt(result.history)
+        row = result.metrics.as_row()
+        row["RDT"] = "yes" if report.holds else f"NO ({len(report.violations)})"
+        rows.append(row)
+    print(render_table(rows, title="Same trace, three protocols"))
+
+    bhmr = sim.run("bhmr")
+    fdas = sim.run("fdas")
+    saved = (
+        fdas.metrics.forced_checkpoints - bhmr.metrics.forced_checkpoints
+    )
+    print(
+        f"\nBHMR forced {bhmr.metrics.forced_checkpoints} checkpoints where "
+        f"FDAS forced {fdas.metrics.forced_checkpoints} "
+        f"(R = {bhmr.metrics.forced_checkpoints / fdas.metrics.forced_checkpoints:.3f}, "
+        f"{saved} checkpoints saved)."
+    )
+
+    # Corollary 4.5: every checkpoint already knows the minimum
+    # consistent global checkpoint containing it.
+    pid, index = 2, 3
+    print(
+        f"\nMin consistent global checkpoint containing C({pid},{index}): "
+        f"{bhmr.family[pid].min_gcp_of(index)} (computed on the fly)"
+    )
+
+
+if __name__ == "__main__":
+    main()

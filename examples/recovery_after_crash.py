@@ -1,0 +1,66 @@
+"""Rollback recovery end to end: crash, recovery line, message replay.
+
+    python examples/recovery_after_crash.py
+
+Walks the classical use-case of consistent checkpoints: a process
+crashes mid-run; the recovery line (latest consistent cut below the
+crash) is computed by rollback propagation; messages crossing the line
+are replayed from sender-based logs.  Run twice -- once under
+independent checkpointing, once under the BHMR protocol -- to see the
+domino effect appear and disappear.
+"""
+
+from repro import CrashSpec, Simulation, SimulationConfig, recovery_line
+from repro.harness import render_table
+from repro.recovery import build_sender_logs, replay_plan
+from repro.workloads import RandomUniformWorkload
+
+
+def crash_and_recover(protocol: str, seed: int = 7):
+    config = SimulationConfig(n=3, duration=40.0, seed=seed, basic_rate=0.4)
+    sim = Simulation(RandomUniformWorkload(send_rate=2.0), config)
+    history = sim.run(protocol).history
+
+    # P1 crashes at simulated time 30; its volatile tail is lost.
+    crash = {1: CrashSpec(1, at_time=30.0)}
+    line = recovery_line(history, crash)
+
+    logs = build_sender_logs(history)
+    plan = replay_plan(history, line.cut)
+    return history, line, logs, plan
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("independent", "bhmr"):
+        history, line, logs, plan = crash_and_recover(protocol)
+        rows.append(
+            {
+                "protocol": protocol,
+                "recovery line": ", ".join(map(repr, line.checkpoint_ids())),
+                "events undone": line.events_undone,
+                "ckpts discarded": line.checkpoints_discarded,
+                "msgs to replay": plan.total,
+            }
+        )
+    print(render_table(rows, title="Crash of P1 at t=30 (same traffic)"))
+
+    history, line, logs, plan = crash_and_recover("bhmr")
+    print("\nReplay plan after recovery (sender -> messages):")
+    for sender, msgs in sorted(plan.by_sender.items()):
+        ids = ", ".join(f"m{m.msg_id}" for m in msgs)
+        print(f"  P{sender} (log holds {len(logs[sender])} msgs): {ids}")
+
+    # Actually execute the recovery and prove convergence by state digest.
+    from repro.state import recovery_convergence_report
+
+    print("\nExecuting the recovery (piecewise-deterministic replay):")
+    for report_line in recovery_convergence_report(history, line.cut, logs):
+        print(f"  {report_line}")
+    print("\nWithout sender logs the same replay gets stuck:")
+    for report_line in recovery_convergence_report(history, line.cut, None):
+        print(f"  {report_line}")
+
+
+if __name__ == "__main__":
+    main()

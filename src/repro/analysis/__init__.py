@@ -1,0 +1,101 @@
+"""Pattern analyses: consistency, RDT, Z-cycles, global checkpoints."""
+
+from repro.analysis.characterizations import (
+    ElementaryReport,
+    ElementaryViolation,
+    Junction,
+    check_rdt_elementary,
+    junction_census,
+    noncausal_junctions,
+)
+from repro.analysis.cost import (
+    RatePoint,
+    checkpoint_rate_study,
+    crash_loss,
+    daly_interval,
+    young_interval,
+)
+from repro.analysis.consistency import (
+    in_transit_of_cut,
+    is_consistent_gcp,
+    is_consistent_pair,
+    is_orphan,
+    orphan_messages,
+    orphans_of_cut,
+)
+from repro.analysis.lattice import (
+    advance_candidates,
+    count_consistent_cuts,
+    cut_join,
+    cut_leq,
+    cut_meet,
+    iter_consistent_cuts,
+    lattice_closure_check,
+    retreat_candidates,
+)
+from repro.analysis.gcp import (
+    can_belong_to_same_gcp,
+    max_consistent_gcp,
+    max_gcp_rdt,
+    min_consistent_gcp,
+    min_gcp_rdt,
+)
+from repro.analysis.metrics import RunMetrics, forced_ratio, metrics_from_history
+from repro.analysis.rdt import (
+    RDTReport,
+    RDTViolation,
+    check_rdt,
+    explain_violation,
+    untracked_pairs,
+)
+from repro.analysis.zcycle import (
+    find_z_cycles,
+    has_z_cycle,
+    useless_checkpoints,
+    useless_checkpoints_rgraph,
+)
+
+__all__ = [
+    "ElementaryReport",
+    "ElementaryViolation",
+    "Junction",
+    "RDTReport",
+    "RatePoint",
+    "checkpoint_rate_study",
+    "check_rdt_elementary",
+    "crash_loss",
+    "daly_interval",
+    "explain_violation",
+    "young_interval",
+    "junction_census",
+    "noncausal_junctions",
+    "RDTViolation",
+    "RunMetrics",
+    "advance_candidates",
+    "can_belong_to_same_gcp",
+    "check_rdt",
+    "count_consistent_cuts",
+    "cut_join",
+    "cut_leq",
+    "cut_meet",
+    "iter_consistent_cuts",
+    "lattice_closure_check",
+    "retreat_candidates",
+    "find_z_cycles",
+    "forced_ratio",
+    "has_z_cycle",
+    "in_transit_of_cut",
+    "is_consistent_gcp",
+    "is_consistent_pair",
+    "is_orphan",
+    "max_consistent_gcp",
+    "max_gcp_rdt",
+    "metrics_from_history",
+    "min_consistent_gcp",
+    "min_gcp_rdt",
+    "orphan_messages",
+    "orphans_of_cut",
+    "untracked_pairs",
+    "useless_checkpoints",
+    "useless_checkpoints_rgraph",
+]

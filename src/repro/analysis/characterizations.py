@@ -1,0 +1,199 @@
+"""Visible characterizations of RDT (the PODC'99 layer).
+
+The definitional statement of RDT quantifies over *all* R-paths -- an
+unbounded, global object no process can see.  The characterization line
+of work (Baldoni-Helary-Raynal, "Rollback-Dependency Trackability:
+Visible Characterizations") reduces the quantification to path classes
+that are *visible*: small, local shapes whose doubling a process can
+establish from piggybacked causal knowledge.  That reduction is what
+makes protocols possible at all -- the BHMR predicate ``C1 | C2`` is
+precisely an on-line test for the elementary class below.
+
+Implemented here, each as an executable checker over recorded patterns:
+
+``check_rdt_elementary``
+    The **CM-path characterization**: a pattern satisfies RDT iff every
+    *elementary* non-causal path -- a causal chain followed by one more
+    message across a single non-causal junction -- is doubled by a
+    causal chain with the same (relaxed) endpoints.  Elementary paths
+    are exactly what a receiver can see coming: the causal prefix is
+    summarised by the piggybacked TDV of its last message, and the
+    non-causal junction is the local send-before-delivery the receiver
+    itself created.
+
+``noncausal_junctions``
+    The visible raw material: ordered message pairs ``(m, m')`` at one
+    process with ``send(m')`` before ``deliver(m)`` in an interval
+    configuration that chains them (``interval(deliver m) <=
+    interval(send m')``).
+
+The equivalence of the elementary characterization with definitional
+RDT (`repro.analysis.rdt.check_rdt`) is property-tested on arbitrary
+generated patterns in ``tests/test_characterizations.py`` -- the
+executable form of the characterization theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.clocks.tdv import message_tdvs
+from repro.events.event import Message
+from repro.events.history import History
+from repro.graph.zpaths import ChainReach, ZPathAnalyzer
+from repro.types import CheckpointId
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A non-causal junction: ``m`` then ``m'`` at ``pid``.
+
+    ``send(after_msg)`` precedes ``deliver(first_msg)`` in the process
+    order of ``pid`` while the interval configuration still chains them
+    -- the "breakable by P_i" situation of the paper's Figure 2.
+    """
+
+    pid: int
+    first_msg: int  # the message whose delivery closes the junction
+    after_msg: int  # the message sent before that delivery
+
+    def __repr__(self) -> str:
+        return f"<junction at P{self.pid}: m{self.first_msg} ~> m{self.after_msg}>"
+
+
+@dataclass
+class ElementaryViolation:
+    """An undoubled elementary path.
+
+    The path runs from ``source`` (deepest origin of a causal chain
+    ending with ``junction.first_msg``) through the junction to
+    ``target`` (the checkpoint closing the delivery interval of
+    ``junction.after_msg``).
+    """
+
+    source: CheckpointId
+    target: CheckpointId
+    junction: Junction
+
+    def __repr__(self) -> str:
+        return (
+            f"<undoubled elementary path {self.source} -> {self.target} "
+            f"via {self.junction}>"
+        )
+
+
+@dataclass
+class ElementaryReport:
+    holds: bool
+    violations: List[ElementaryViolation] = field(default_factory=list)
+    junctions_checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        status = "holds" if self.holds else f"{len(self.violations)} violations"
+        return (
+            f"<ElementaryReport {status}, "
+            f"{self.junctions_checked} junctions checked>"
+        )
+
+
+def noncausal_junctions(history: History) -> Iterator[Junction]:
+    """All visible non-causal junctions of a (closed) pattern."""
+    by_src: Dict[int, List[Message]] = {}
+    for m in history.delivered_messages():
+        by_src.setdefault(m.src, []).append(m)
+    for m in history.delivered_messages():
+        deliver_ev = history.deliver_event(m)
+        assert deliver_ev is not None
+        pid = m.dst
+        deliver_interval = history.interval_of(deliver_ev)
+        for after in by_src.get(pid, ()):  # messages sent by the receiver
+            if after.send_seq > deliver_ev.seq:
+                continue  # delivery precedes the send: causal junction
+            if deliver_interval > history.send_interval(after):
+                continue  # a checkpoint broke the pair: not a chain link
+            yield Junction(pid=pid, first_msg=m.msg_id, after_msg=after.msg_id)
+
+
+def check_rdt_elementary(history: History) -> ElementaryReport:
+    """Decide RDT via the elementary (CM-path) characterization.
+
+    For every non-causal junction ``(m, m')`` and every process ``k``,
+    the deepest causal chain ending with ``m`` starts at
+    ``C(k, m.tdv[k])`` (the TDV piggybacked on ``m`` -- precisely the
+    sender's visible knowledge).  The elementary path it forms with
+    ``m'`` ends at ``C(j, y)``, ``j = m'.dst``, ``y`` the delivery
+    interval of ``m'``.  RDT holds iff every such path is doubled by a
+    causal chain; doubling is monotone in the start index, so checking
+    the deepest start per process suffices.
+    """
+    history = history.closed()
+    analyzer = ZPathAnalyzer(history)
+    piggybacked = message_tdvs(history)
+    reach_cache: Dict[CheckpointId, ChainReach] = {}
+
+    def causal_reach(cid: CheckpointId) -> ChainReach:
+        if cid not in reach_cache:
+            reach_cache[cid] = analyzer.reach(cid, causal=True)
+        return reach_cache[cid]
+
+    violations: List[ElementaryViolation] = []
+    junctions = 0
+    for junction in noncausal_junctions(history):
+        junctions += 1
+        after = history.message(junction.after_msg)
+        deliver_ev = history.deliver_event(after)
+        assert deliver_ev is not None
+        target = CheckpointId(after.dst, history.interval_of(deliver_ev))
+        profile = piggybacked[junction.first_msg]
+        for k, z in enumerate(profile):
+            if z == 0:
+                continue
+            source = CheckpointId(k, z)
+            if k == target.pid:
+                doubled = z <= target.index
+            else:
+                doubled = causal_reach(source).reaches(target)
+            if not doubled:
+                violations.append(
+                    ElementaryViolation(
+                        source=source, target=target, junction=junction
+                    )
+                )
+    return ElementaryReport(
+        holds=not violations,
+        violations=violations,
+        junctions_checked=junctions,
+    )
+
+
+def junction_census(history: History) -> Dict[str, int]:
+    """Counts of junction kinds (reporting helper for examples/benches).
+
+    ``causal`` counts delivery-before-send pairs that chain, i.e.
+    junctions of causal chains; ``non_causal`` the visible trouble
+    makers; ``broken`` pairs separated by a checkpoint (what a forced
+    checkpoint achieves).
+    """
+    history = history.closed()
+    causal = non_causal = broken = 0
+    by_src: Dict[int, List[Message]] = {}
+    for m in history.delivered_messages():
+        by_src.setdefault(m.src, []).append(m)
+    for m in history.delivered_messages():
+        deliver_ev = history.deliver_event(m)
+        assert deliver_ev is not None
+        deliver_interval = history.interval_of(deliver_ev)
+        for after in by_src.get(m.dst, ()):  # sends by the receiver
+            chained = deliver_interval <= history.send_interval(after)
+            if after.send_seq > deliver_ev.seq:
+                if chained:
+                    causal += 1
+            elif chained:
+                non_causal += 1
+            else:
+                broken += 1
+    return {"causal": causal, "non_causal": non_causal, "broken": broken}

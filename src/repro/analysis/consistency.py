@@ -1,0 +1,112 @@
+"""Consistency of checkpoint pairs and global checkpoints.
+
+Implements section 2.2 of the paper: a message ``m`` (from ``P_i`` to
+``P_j``) is *orphan* with respect to the ordered pair
+``(C(i,x), C(j,y))`` iff its delivery belongs to ``C(j,y)`` (delivery
+interval <= y) while its send does not belong to ``C(i,x)`` (send
+interval > x).  A pair is consistent iff it has no orphan; a global
+checkpoint (one local checkpoint per process) is consistent iff all its
+ordered pairs are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.events.event import Message
+from repro.events.history import History
+from repro.types import CheckpointId, PatternError, ProcessId
+
+
+def is_orphan(
+    history: History, m: Message, sender_cut: int, receiver_cut: int
+) -> bool:
+    """Is ``m`` orphan w.r.t. sender checkpoint index / receiver index?
+
+    ``sender_cut``/``receiver_cut`` are the checkpoint indices of the
+    ordered pair ``(C(m.src, sender_cut), C(m.dst, receiver_cut))``.
+    Undelivered messages are never orphan.
+    """
+    if not m.delivered:
+        return False
+    deliver_interval = history.deliver_interval(m)
+    assert deliver_interval is not None
+    return deliver_interval <= receiver_cut and history.send_interval(m) > sender_cut
+
+
+def orphan_messages(
+    history: History, a: CheckpointId, b: CheckpointId
+) -> List[Message]:
+    """All messages orphan w.r.t. the ordered pair ``(a, b)``."""
+    return [
+        m
+        for m in history.messages_between(a.pid, b.pid)
+        if is_orphan(history, m, a.index, b.index)
+    ]
+
+
+def is_consistent_pair(history: History, a: CheckpointId, b: CheckpointId) -> bool:
+    """Consistency of the *unordered* pair: no orphan in either direction."""
+    if a.pid == b.pid:
+        return a.index == b.index
+    return not orphan_messages(history, a, b) and not orphan_messages(history, b, a)
+
+
+def _as_cut(history: History, gcp) -> Dict[ProcessId, int]:
+    """Normalise a global checkpoint given as mapping, sequence or set."""
+    n = history.num_processes
+    if isinstance(gcp, Mapping):
+        cut = dict(gcp)
+    elif isinstance(gcp, Sequence) and gcp and isinstance(gcp[0], int):
+        cut = {pid: index for pid, index in enumerate(gcp)}
+    else:
+        cut = {}
+        for cid in gcp:
+            if cid.pid in cut:
+                raise PatternError(f"two checkpoints of process {cid.pid} in gcp")
+            cut[cid.pid] = cid.index
+    if sorted(cut) != list(range(n)):
+        raise PatternError("a global checkpoint needs exactly one entry per process")
+    for pid, index in cut.items():
+        if not history.has_checkpoint(CheckpointId(pid, index)):
+            raise PatternError(f"C({pid},{index}) does not exist")
+    return cut
+
+
+def orphans_of_cut(history: History, gcp) -> List[Message]:
+    """All orphan messages of a global checkpoint (any pair)."""
+    cut = _as_cut(history, gcp)
+    return [
+        m
+        for m in history.delivered_messages()
+        if is_orphan(history, m, cut[m.src], cut[m.dst])
+    ]
+
+
+def is_consistent_gcp(history: History, gcp) -> bool:
+    """Definition 2.2: every pair of the global checkpoint is consistent.
+
+    Accepts a ``{pid: index}`` mapping, a dense index sequence, or an
+    iterable of :class:`CheckpointId`.
+    """
+    return not orphans_of_cut(history, gcp)
+
+
+def in_transit_of_cut(history: History, gcp) -> List[Message]:
+    """Messages sent before the cut but delivered after it (or never).
+
+    These are the messages a recovery would have to replay from logs;
+    they do not affect consistency (the model has no lost-message
+    constraint) but recovery cares (see :mod:`repro.recovery.logging`).
+    """
+    cut = _as_cut(history, gcp)
+    out = []
+    for m in history.messages.values():
+        if history.send_interval(m) > cut[m.src]:
+            continue  # not sent before the cut
+        deliver_interval = (
+            history.deliver_interval(m) if m.delivered else None
+        )
+        if deliver_interval is None or deliver_interval > cut[m.dst]:
+            out.append(m)
+    return out

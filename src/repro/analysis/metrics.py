@@ -1,0 +1,110 @@
+"""Run metrics: checkpoint counts, message counts, piggyback overhead.
+
+The paper's evaluation reports, per protocol and environment, the number
+of forced checkpoints and the ratio ``R = forced(P) / forced(FDAS)``.
+:class:`RunMetrics` extracts the raw counts from a recorded history (and
+optional per-run overhead accounting provided by the protocol driver);
+ratio computation across protocols lives in :mod:`repro.harness.ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.events.event import CheckpointKind
+from repro.events.history import History
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated measurements of one protocol run."""
+
+    protocol: str
+    num_processes: int
+    messages_delivered: int
+    messages_in_transit: int
+    basic_checkpoints: int
+    forced_checkpoints: int
+    initial_checkpoints: int
+    final_checkpoints: int
+    piggyback_bits_total: int = 0
+    control_messages: int = 0
+    per_process_forced: List[int] = field(default_factory=list)
+    per_process_basic: List[int] = field(default_factory=list)
+
+    @property
+    def total_checkpoints(self) -> int:
+        return (
+            self.basic_checkpoints
+            + self.forced_checkpoints
+            + self.initial_checkpoints
+            + self.final_checkpoints
+        )
+
+    @property
+    def forced_per_message(self) -> float:
+        """Forced checkpoints per delivered message (protocol 'eagerness')."""
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.forced_checkpoints / self.messages_delivered
+
+    @property
+    def piggyback_bits_per_message(self) -> float:
+        sent = self.messages_delivered + self.messages_in_transit
+        if sent == 0:
+            return 0.0
+        return self.piggyback_bits_total / sent
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "protocol": self.protocol,
+            "n": self.num_processes,
+            "messages": self.messages_delivered,
+            "basic": self.basic_checkpoints,
+            "forced": self.forced_checkpoints,
+            "forced/msg": round(self.forced_per_message, 4),
+            "piggyback(bits/msg)": round(self.piggyback_bits_per_message, 1),
+        }
+
+
+def metrics_from_history(
+    history: History,
+    protocol: str = "unknown",
+    piggyback_bits_total: int = 0,
+    control_messages: int = 0,
+) -> RunMetrics:
+    """Extract :class:`RunMetrics` from a recorded history."""
+    basic = history.checkpoint_counts(CheckpointKind.BASIC)
+    forced = history.checkpoint_counts(CheckpointKind.FORCED)
+    initial = history.checkpoint_counts(CheckpointKind.INITIAL)
+    final = history.checkpoint_counts(CheckpointKind.FINAL)
+    delivered = sum(1 for _ in history.delivered_messages())
+    in_transit = sum(1 for _ in history.in_transit_messages())
+    return RunMetrics(
+        protocol=protocol,
+        num_processes=history.num_processes,
+        messages_delivered=delivered,
+        messages_in_transit=in_transit,
+        basic_checkpoints=sum(basic),
+        forced_checkpoints=sum(forced),
+        initial_checkpoints=sum(initial),
+        final_checkpoints=sum(final),
+        piggyback_bits_total=piggyback_bits_total,
+        control_messages=control_messages,
+        per_process_forced=forced,
+        per_process_basic=basic,
+    )
+
+
+def forced_ratio(
+    metrics: RunMetrics, baseline: RunMetrics
+) -> Optional[float]:
+    """The paper's ratio ``R = forced(P) / forced(baseline)``.
+
+    ``None`` when the baseline forced no checkpoints (R undefined).
+    """
+    if baseline.forced_checkpoints == 0:
+        return None
+    return metrics.forced_checkpoints / baseline.forced_checkpoints

@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      simulate one workload under one protocol, print metrics
+``compare``  replay the same traces under several protocols (table + R)
+``sweep``    R as a function of the basic-checkpoint rate (figure-style)
+``analyze``  RDT/Z-cycle analysis of a built-in pattern or a fresh run
+``recover``  crash a process mid-run and print the recovery line
+``protocols``/``workloads``  list the registries
+
+Examples::
+
+    python -m repro run --workload client-server --protocol bhmr -n 6
+    python -m repro compare --workload random -n 6 --seeds 0 1 2
+    python -m repro sweep --workload groups -n 9
+    python -m repro analyze figure1
+    python -m repro recover --protocol bhmr --crash-pid 1 --crash-time 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import check_rdt, find_z_cycles, useless_checkpoints
+from repro.core import PROTOCOLS, RDT_FAMILY
+from repro.events import figure1_pattern, ping_pong_domino_pattern
+from repro.harness import compare_protocols, ratio_sweep, render_series, render_table
+from repro.recovery import CrashSpec, recovery_line, replay_plan
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import WORKLOADS
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _workload_kwargs(pairs: Optional[List[str]]) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--workload-arg expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        kwargs[key] = _parse_value(value)
+    return kwargs
+
+
+def _make_workload(args):
+    try:
+        cls = WORKLOADS[args.workload]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SystemExit(f"unknown workload {args.workload!r}; known: {known}")
+    kwargs = _workload_kwargs(getattr(args, "workload_arg", None))
+    return lambda: cls(**kwargs)
+
+
+def _config(args, seed: Optional[int] = None) -> SimulationConfig:
+    return SimulationConfig(
+        n=args.n,
+        duration=args.duration,
+        seed=args.seed if seed is None else seed,
+        basic_rate=args.basic_rate,
+    )
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="random", help="workload name")
+    parser.add_argument(
+        "--workload-arg",
+        action="append",
+        metavar="KEY=VALUE",
+        help="workload constructor argument (repeatable)",
+    )
+    parser.add_argument("-n", type=int, default=4, help="number of processes")
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--basic-rate", type=float, default=0.2)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    sim = Simulation(_make_workload(args)(), _config(args))
+    result = sim.run(args.protocol)
+    print(render_table([result.metrics.as_row()], title=f"run: {args.protocol}"))
+    if args.save:
+        from repro.events import save_history
+
+        save_history(result.history, args.save)
+        print(f"history saved to {args.save}")
+    if args.check_rdt:
+        report = check_rdt(result.history)
+        print(f"RDT: {'holds' if report.holds else report}")
+        if not report.holds:
+            return 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    comparison = compare_protocols(
+        _make_workload(args),
+        _config(args),
+        args.protocols,
+        baseline=args.baseline,
+        seeds=args.seeds,
+        scenario=args.workload,
+        verify_rdt=args.check_rdt,
+    )
+    print(render_table(comparison.rows(), title=f"compare: {args.workload}"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    workload_factory = _make_workload(args)
+
+    def scenario_at(rate):
+        return workload_factory, SimulationConfig(
+            n=args.n, duration=args.duration, basic_rate=rate
+        )
+
+    sweep = ratio_sweep(
+        "basic_rate",
+        args.rates,
+        scenario_at,
+        args.protocols,
+        baseline=args.baseline,
+        seeds=args.seeds,
+    )
+    print(
+        render_series(
+            "basic_rate",
+            sweep.xs,
+            sweep.ratio_series(),
+            title=f"sweep: {args.workload} (R vs basic rate)",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    if args.pattern == "figure1":
+        history = figure1_pattern()
+    elif args.pattern == "domino":
+        history = ping_pong_domino_pattern(rounds=args.rounds)
+    elif args.pattern == "file":
+        if not args.path:
+            raise SystemExit("analyze file requires --path")
+        from repro.events import load_history
+
+        history = load_history(args.path)
+    else:  # a fresh simulated run
+        sim = Simulation(_make_workload(args)(), _config(args))
+        history = sim.run(args.protocol).history
+    report = check_rdt(history)
+    print(f"pattern:     {history!r}")
+    print(f"RDT:         {'holds' if report.holds else 'VIOLATED'}")
+    for violation in report.violations[: args.max_violations]:
+        print(f"  {violation!r}")
+        if args.explain:
+            from repro.analysis import explain_violation
+
+            evidence = explain_violation(history, violation.source, violation.target)
+            chain = evidence["zigzag"]
+            pretty = "?" if chain is None else "[" + ", ".join(
+                f"m{x}" for x in chain
+            ) + "]"
+            print(f"    undoubled chain: {pretty}")
+    cycles = find_z_cycles(history)
+    print(f"Z-cycles:    {len(cycles)}")
+    useless = useless_checkpoints(history)
+    print(f"useless:     {useless if useless else 'none'}")
+    return 0 if report.holds else 1
+
+
+def cmd_recover(args) -> int:
+    sim = Simulation(_make_workload(args)(), _config(args))
+    history = sim.run(args.protocol).history
+    crash = {args.crash_pid: CrashSpec(args.crash_pid, at_time=args.crash_time)}
+    line = recovery_line(history, crash)
+    print(f"crash:         P{args.crash_pid} at t={args.crash_time}")
+    print(f"recovery line: {line.checkpoint_ids()}")
+    print(f"events undone: {line.events_undone}")
+    plan = replay_plan(history, line.cut)
+    print(f"msgs to replay: {plan.total}")
+    return 0
+
+
+def cmd_protocols(_args) -> int:
+    rows = [
+        {
+            "name": name,
+            "ensures RDT": "yes" if cls.ensures_rdt else "no",
+            "piggybacks TDV": "yes" if cls.carries_tdv else "no",
+            "family": "rdt" if name in RDT_FAMILY else "baseline",
+        }
+        for name, cls in sorted(PROTOCOLS.items())
+    ]
+    print(render_table(rows, title="protocols"))
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    rows = [
+        {"name": name, "class": cls.__name__}
+        for name, cls in sorted(WORKLOADS.items())
+    ]
+    print(render_table(rows, title="workloads"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RDT checkpointing testbed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="one workload under one protocol")
+    _add_scenario_args(p)
+    p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
+    p.add_argument("--check-rdt", action="store_true")
+    p.add_argument("--save", metavar="PATH", help="save the history as JSON")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="several protocols, same traces")
+    _add_scenario_args(p)
+    p.add_argument(
+        "--protocols", nargs="+", default=["bhmr", "fdas", "cbr"],
+        choices=sorted(PROTOCOLS),
+    )
+    p.add_argument("--baseline", default="fdas", choices=sorted(PROTOCOLS))
+    p.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
+    p.add_argument("--check-rdt", action="store_true")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="R vs basic checkpoint rate")
+    _add_scenario_args(p)
+    p.add_argument(
+        "--rates", nargs="+", type=float, default=[0.05, 0.1, 0.2, 0.5]
+    )
+    p.add_argument("--protocols", nargs="+", default=["bhmr"])
+    p.add_argument("--baseline", default="fdas")
+    p.add_argument("--seeds", nargs="+", type=int, default=[0, 1])
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("analyze", help="RDT analysis of a pattern")
+    p.add_argument(
+        "pattern",
+        choices=["figure1", "domino", "simulated", "file"],
+        help="built-in pattern, fresh simulated run, or saved JSON",
+    )
+    _add_scenario_args(p)
+    p.add_argument("--path", help="JSON history for 'analyze file'")
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a witness chain for each violation",
+    )
+    p.add_argument("--protocol", default="independent", choices=sorted(PROTOCOLS))
+    p.add_argument("--rounds", type=int, default=5, help="domino rounds")
+    p.add_argument("--max-violations", type=int, default=10)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("recover", help="crash + recovery line")
+    _add_scenario_args(p)
+    p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
+    p.add_argument("--crash-pid", type=int, default=0)
+    p.add_argument("--crash-time", type=float, default=None)
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser("protocols", help="list known protocols")
+    p.set_defaults(func=cmd_protocols)
+    p = sub.add_parser("workloads", help="list known workloads")
+    p.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

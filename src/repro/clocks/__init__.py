@@ -1,0 +1,24 @@
+"""Logical clock substrates: Lamport, vector, matrix clocks and TDVs."""
+
+from repro.clocks.lamport import LamportClock, lamport_timestamps
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.tdv import (
+    TrackabilityOracle,
+    event_tdvs,
+    message_tdvs,
+    tdv_snapshots,
+)
+from repro.clocks.vector import Causality, VectorClock, vector_timestamps
+
+__all__ = [
+    "Causality",
+    "LamportClock",
+    "MatrixClock",
+    "TrackabilityOracle",
+    "VectorClock",
+    "event_tdvs",
+    "lamport_timestamps",
+    "message_tdvs",
+    "tdv_snapshots",
+    "vector_timestamps",
+]

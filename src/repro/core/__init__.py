@@ -1,0 +1,79 @@
+"""The checkpointing protocols: BHMR (the paper's contribution), its
+variants, FDAS/FDI, the classical protocols, and the independent
+baseline."""
+
+from repro.core.baselines import IndependentProtocol
+from repro.core.bhmr import (
+    BHMRCausalOnlyProtocol,
+    BHMRNoSimpleProtocol,
+    BHMRProtocol,
+)
+from repro.core.classical import CASProtocol, CBRProtocol, NRASProtocol
+from repro.core.coordinated import (
+    ChandyLamportRunner,
+    CoordinatedResult,
+    SnapshotRecord,
+    run_chandy_lamport,
+)
+from repro.core.fdas import FDASProtocol, FDIProtocol
+from repro.core.index_based import (
+    BCSProtocol,
+    IndexPiggyback,
+    LazyBCSProtocol,
+    bcs_index_cut,
+    lazy_factory,
+    max_index,
+)
+from repro.core.piggyback import (
+    BHMRNoSimplePiggyback,
+    BHMRPiggyback,
+    EmptyPiggyback,
+    FlagPiggyback,
+    Piggyback,
+    TDVPiggyback,
+)
+from repro.core.protocol import CheckpointProtocol, ProtocolFamily
+from repro.core.registry import (
+    PROTOCOLS,
+    RDT_FAMILY,
+    make_family,
+    make_protocol,
+    protocol_class,
+    protocol_factory,
+)
+
+__all__ = [
+    "BCSProtocol",
+    "BHMRCausalOnlyProtocol",
+    "IndexPiggyback",
+    "LazyBCSProtocol",
+    "bcs_index_cut",
+    "lazy_factory",
+    "max_index",
+    "BHMRNoSimplePiggyback",
+    "BHMRNoSimpleProtocol",
+    "BHMRPiggyback",
+    "BHMRProtocol",
+    "CASProtocol",
+    "CBRProtocol",
+    "ChandyLamportRunner",
+    "CheckpointProtocol",
+    "CoordinatedResult",
+    "SnapshotRecord",
+    "run_chandy_lamport",
+    "EmptyPiggyback",
+    "FDASProtocol",
+    "FDIProtocol",
+    "FlagPiggyback",
+    "IndependentProtocol",
+    "NRASProtocol",
+    "PROTOCOLS",
+    "Piggyback",
+    "ProtocolFamily",
+    "RDT_FAMILY",
+    "TDVPiggyback",
+    "make_family",
+    "make_protocol",
+    "protocol_class",
+    "protocol_factory",
+]

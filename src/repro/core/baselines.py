@@ -1,0 +1,32 @@
+"""Non-RDT baselines: independent checkpointing.
+
+Independent (uncoordinated) checkpointing is the null protocol: no
+forced checkpoints, no piggybacking.  It is the negative control of the
+whole study -- its patterns exhibit hidden dependencies, Z-cycles,
+useless checkpoints and the domino effect, all of which the analysis
+layer detects and all of which disappear under any protocol of the RDT
+family above it.
+"""
+
+from __future__ import annotations
+
+from repro.core.piggyback import EmptyPiggyback, Piggyback
+from repro.core.protocol import CheckpointProtocol
+from repro.types import ProcessId
+
+
+class IndependentProtocol(CheckpointProtocol):
+    """Take only basic checkpoints; never force; piggyback nothing."""
+
+    name = "independent"
+    ensures_rdt = False
+    carries_tdv = False
+
+    def make_piggyback(self, dst: ProcessId) -> Piggyback:
+        return EmptyPiggyback()
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return False
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        super().on_receive(pb, sender)

@@ -1,0 +1,85 @@
+"""Classical RDT-ensuring protocols predating dependency vectors.
+
+These protocols (cited in the paper's introduction and section 5.2)
+guarantee RDT by *shape* alone, with little or no piggybacked control
+information, at the price of many more forced checkpoints:
+
+* **NRAS** -- No-Receive-After-Send (Russell 1980): force a checkpoint
+  before any delivery that would land after a send of the same interval.
+  Every interval then has all its deliveries before all its sends, so
+  every chain junction is causal.
+* **CBR** -- Checkpoint-Before-Receive: force before any delivery into a
+  non-fresh interval; every delivery starts its own interval.
+* **CAS** -- Checkpoint-After-Send (Wu-Fuchs 1990): take a checkpoint
+  immediately after every send; a send is always the last event of its
+  interval.
+
+None of them piggybacks anything, hence their vacuous trackability: no
+non-causal chain survives to need tracking.  They still inherit the
+framework's TDV *bookkeeping* so analyses can read saved vectors, but
+the vectors never travel (their internal TDVs are local-only and are
+excluded from the Corollary 4.5 claims -- ``carries_tdv`` is False).
+"""
+
+from __future__ import annotations
+
+from repro.core import predicates
+from repro.core.piggyback import EmptyPiggyback, Piggyback
+from repro.core.protocol import CheckpointProtocol
+from repro.types import ProcessId
+
+
+class NoPiggybackProtocol(CheckpointProtocol):
+    """Shared plumbing for protocols that send no control information."""
+
+    carries_tdv = False
+
+    def make_piggyback(self, dst: ProcessId) -> Piggyback:
+        return EmptyPiggyback()
+
+
+class NRASProtocol(NoPiggybackProtocol):
+    """Russell's No-Receive-After-Send."""
+
+    name = "nras"
+    ensures_rdt = True
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return predicates.c_nras(self.after_first_send)
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        super().on_receive(pb, sender)
+
+
+class CBRProtocol(NoPiggybackProtocol):
+    """Checkpoint-Before-Receive."""
+
+    name = "cbr"
+    ensures_rdt = True
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return predicates.c_cbr(self.had_communication)
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        super().on_receive(pb, sender)
+
+
+class CASProtocol(NoPiggybackProtocol):
+    """Wu-Fuchs's Checkpoint-After-Send.
+
+    Forces nothing at delivery time; instead requests a checkpoint right
+    after every send (the framework's ``wants_checkpoint_after_send``
+    hook).
+    """
+
+    name = "cas"
+    ensures_rdt = True
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return False
+
+    def wants_checkpoint_after_send(self) -> bool:
+        return True
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        super().on_receive(pb, sender)

@@ -1,0 +1,64 @@
+"""Wang's FDAS and FDI protocols (the paper's primary baselines).
+
+Both piggyback only the transitive dependency vector and force a
+checkpoint when a message would *change* the vector in an interval whose
+dependencies must stay fixed:
+
+* **FDAS** (Fixed-Dependency-After-Send): the vector is frozen from the
+  first *send* of the interval on --
+  ``C_FDAS = after_first_send and (exists k: m.TDV[k] > TDV[k])``;
+* **FDI** (Fixed-Dependency-Interval): frozen from the first send *or
+  delivery* -- strictly more conservative than FDAS.
+
+Both ensure RDT (every new dependency is acquired before any send it
+could contaminate, so every chain is doubled by the causal delivery
+path), and both enjoy Corollary 4.5's on-the-fly minimum global
+checkpoint, like every TDV-carrying protocol that ensures RDT.
+"""
+
+from __future__ import annotations
+
+from repro.core import predicates
+from repro.core.piggyback import Piggyback, TDVPiggyback
+from repro.core.protocol import CheckpointProtocol
+from repro.types import ProcessId, ProtocolError
+
+
+class TDVOnlyProtocol(CheckpointProtocol):
+    """Shared plumbing for protocols that piggyback just the TDV."""
+
+    def make_piggyback(self, dst: ProcessId) -> Piggyback:
+        return TDVPiggyback(tdv=tuple(self.tdv))
+
+    def _require_tdv(self, pb: Piggyback) -> TDVPiggyback:
+        if not isinstance(pb, TDVPiggyback):
+            raise ProtocolError(f"{self.name} cannot interpret {type(pb).__name__}")
+        return pb
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        super().on_receive(pb, sender)
+        self._merge_tdv(self._require_tdv(pb).tdv)
+
+
+class FDASProtocol(TDVOnlyProtocol):
+    """Fixed-Dependency-After-Send (Wang 1997)."""
+
+    name = "fdas"
+    ensures_rdt = True
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return predicates.c_fdas(
+            self.after_first_send, self.tdv, self._require_tdv(pb).tdv
+        )
+
+
+class FDIProtocol(TDVOnlyProtocol):
+    """Fixed-Dependency-Interval (Wang 1997): freezes on any activity."""
+
+    name = "fdi"
+    ensures_rdt = True
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        return predicates.c_fdi(
+            self.had_communication, self.tdv, self._require_tdv(pb).tdv
+        )

@@ -1,0 +1,176 @@
+"""Index-based checkpointing: the BCS protocol (Briatico et al. 1984).
+
+The oldest communication-induced protocol, and the canonical member of
+the *weaker* guarantee class the RDT literature positions itself
+against: BCS ensures **Z-cycle freedom** (no useless checkpoints), not
+full RDT.
+
+Rules: each process keeps a checkpoint index ``sn`` (0 at the initial
+checkpoint), increments it at each basic checkpoint and piggybacks it on
+every message; on arrival of a message with ``m.sn > sn`` the process
+takes a forced checkpoint *before* delivery and adopts ``m.sn``.  Every
+checkpoint is *labelled* with the index in effect right after it (a
+basic checkpoint with the incremented value, a forced one with the
+adopted value).
+
+Two classic consequences, both surfaced as API and verified in tests:
+
+* no Z-cycle can form (a chain back into a smaller-index past would
+  need a delivery that the index rule forces a checkpoint in front of),
+  so every checkpoint is useful;
+* the "index lines" are free consistent global checkpoints: for any
+  ``q >= 1``, taking each process's *first* checkpoint labelled ``>= q``
+  (or its end-of-history state when it never reached index ``q``)
+  yields a consistent global checkpoint (:func:`bcs_index_cut`).
+
+What BCS does *not* give is RDT: non-causal chains between distinct
+processes at equal indexes go unbroken and undoubled, so hidden
+dependencies persist (tests exhibit them).  Comparing ``bcs`` with the
+RDT family quantifies the price of the stronger property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.piggyback import Piggyback
+from repro.core.protocol import CheckpointProtocol, ProtocolFamily
+from repro.events.history import History
+from repro.types import ProcessId, ProtocolError
+
+#: Wire width of the piggybacked index.
+_INDEX_BITS = 32
+
+
+@dataclass(frozen=True)
+class IndexPiggyback(Piggyback):
+    """The single checkpoint index BCS ships on every message."""
+
+    sn: int
+
+    def size_bits(self) -> int:
+        return _INDEX_BITS
+
+
+class BCSProtocol(CheckpointProtocol):
+    """Briatico-Ciuffoletti-Simoncini index-based checkpointing."""
+
+    name = "bcs"
+    ensures_rdt = False
+    ensures_zcf = True
+    carries_tdv = False
+
+    def __init__(self, pid: ProcessId, n: int) -> None:
+        super().__init__(pid, n)
+        self.sn = 0
+        #: ``labels[x]`` is the index labelling checkpoint ``x`` (the
+        #: ``sn`` value in effect once the checkpoint's transaction --
+        #: including a forced adoption -- completed).
+        self.labels: List[int] = [0]
+        self._label_pending = False
+
+    def on_checkpoint(self, forced: bool = False) -> None:
+        super().on_checkpoint(forced)
+        if forced:
+            # The adopted index is only known in on_receive.
+            self.labels.append(-1)
+            self._label_pending = True
+        else:
+            self.sn += 1
+            self.labels.append(self.sn)
+
+    def make_piggyback(self, dst: ProcessId) -> Piggyback:
+        return IndexPiggyback(sn=self.sn)
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        if not isinstance(pb, IndexPiggyback):
+            raise ProtocolError(f"{self.name} cannot interpret {type(pb).__name__}")
+        return pb.sn > self.sn
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        if not isinstance(pb, IndexPiggyback):
+            raise ProtocolError(f"{self.name} cannot interpret {type(pb).__name__}")
+        super().on_receive(pb, sender)
+        if pb.sn > self.sn:
+            self.sn = pb.sn
+        if self._label_pending:
+            self.labels[-1] = self.sn
+            self._label_pending = False
+
+
+class LazyBCSProtocol(BCSProtocol):
+    """Lazy indexing (after Wang's lazy checkpoint coordination).
+
+    Forces only when a message crosses an *epoch* boundary: with
+    laziness ``Z``, epochs are ``[0,Z), [Z,2Z), ...`` and the forcing
+    rule is ``epoch(m.sn) > epoch(sn)``.  ``Z = 1`` degenerates to plain
+    BCS.
+
+    The guarantee dial: only the index lines at epoch boundaries
+    (``q = k*Z``, via :func:`bcs_index_cut`) remain consistent -- inside
+    an epoch, zigzags (even Z-cycles) can form, so ``ensures_zcf`` drops
+    with ``Z > 1``.  In exchange, forced checkpoints fall roughly by the
+    factor ``Z``.  Tests verify all three facets.
+    """
+
+    name = "bcs-lazy"
+    ensures_zcf = False  # only epoch-boundary lines are protected
+
+    #: Default laziness; instances may be built via :func:`lazy_factory`
+    #: with any other value.
+    laziness = 4
+
+    def __init__(
+        self, pid: ProcessId, n: int, laziness: Optional[int] = None
+    ) -> None:
+        super().__init__(pid, n)
+        if laziness is not None:
+            self.laziness = laziness
+        if self.laziness < 1:
+            raise ProtocolError("laziness must be at least 1")
+
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        if not isinstance(pb, IndexPiggyback):
+            raise ProtocolError(f"{self.name} cannot interpret {type(pb).__name__}")
+        return pb.sn // self.laziness > self.sn // self.laziness
+
+
+def lazy_factory(laziness: int):
+    """A protocol factory for :class:`LazyBCSProtocol` with given ``Z``."""
+
+    def make(pid: ProcessId, n: int) -> LazyBCSProtocol:
+        return LazyBCSProtocol(pid, n, laziness=laziness)
+
+    return make
+
+
+def bcs_index_cut(
+    family: ProtocolFamily, q: int, history: History
+) -> Dict[ProcessId, int]:
+    """The free consistent global checkpoint of index ``q`` (q >= 1).
+
+    Entry ``p`` is the first checkpoint of ``P_p`` labelled ``>= q``; a
+    process that never reached index ``q`` contributes its last
+    checkpoint of the (closed) history -- by the index rule it can never
+    have delivered a message sent at index ``>= q``, so its entire
+    recorded history is safe.  Consistency is verified against
+    :func:`repro.analysis.consistency.is_consistent_gcp` in the tests.
+    """
+    if q < 1:
+        raise ProtocolError("index lines start at q = 1")
+    history = history.closed()
+    cut: Dict[ProcessId, int] = {}
+    for proto in family.members:
+        if not isinstance(proto, BCSProtocol):
+            raise ProtocolError("bcs_index_cut needs a BCS family")
+        crossing = [x for x, label in enumerate(proto.labels) if label >= q]
+        cut[proto.pid] = crossing[0] if crossing else history.last_index(proto.pid)
+    return cut
+
+
+def max_index(family: ProtocolFamily) -> int:
+    """The largest index any member reached (bounds useful ``q`` values)."""
+    return max(
+        proto.sn for proto in family.members if isinstance(proto, BCSProtocol)
+    )

@@ -1,0 +1,85 @@
+"""Control information piggybacked on application messages.
+
+Each communication-induced protocol defines what rides on messages; the
+structures here are immutable snapshots taken at send time.  They also
+account their own wire size in bits, which feeds the paper's overhead
+comparison (section 5.2: the BHMR protocol pays ``n^2 + n`` extra bits
+per message over FDAS's ``n`` integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Wire width assumed for one checkpoint-interval index.
+INDEX_BITS = 32
+
+
+@dataclass(frozen=True)
+class Piggyback:
+    """Base class: piggybacks are value objects with a bit size."""
+
+    def size_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class EmptyPiggyback(Piggyback):
+    """No control information (independent checkpointing)."""
+
+
+@dataclass(frozen=True)
+class TDVPiggyback(Piggyback):
+    """A transitive dependency vector (FDAS / FDI and variants)."""
+
+    tdv: Tuple[int, ...]
+
+    def size_bits(self) -> int:
+        return INDEX_BITS * len(self.tdv)
+
+
+@dataclass(frozen=True)
+class FlagPiggyback(Piggyback):
+    """A single boolean (classical protocols needing only one flag)."""
+
+    flag: bool
+
+    def size_bits(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class BHMRPiggyback(Piggyback):
+    """The full BHMR control state: ``TDV``, ``simple``, ``causal``.
+
+    ``causal`` is an ``n x n`` boolean matrix flattened row-major into a
+    tuple of row tuples; ``simple`` is a boolean vector.  Both are copies
+    (snapshots) of the sender's state at send time.
+    """
+
+    tdv: Tuple[int, ...]
+    simple: Tuple[bool, ...]
+    causal: Tuple[Tuple[bool, ...], ...]
+
+    def size_bits(self) -> int:
+        n = len(self.tdv)
+        return INDEX_BITS * n + n + n * n
+
+    def causal_entry(self, k: int, j: int) -> bool:
+        return self.causal[k][j]
+
+
+@dataclass(frozen=True)
+class BHMRNoSimplePiggyback(Piggyback):
+    """Variant 1 of section 5.1: TDV + causal matrix, no simple vector."""
+
+    tdv: Tuple[int, ...]
+    causal: Tuple[Tuple[bool, ...], ...]
+
+    def size_bits(self) -> int:
+        n = len(self.tdv)
+        return INDEX_BITS * n + n * n
+
+    def causal_entry(self, k: int, j: int) -> bool:
+        return self.causal[k][j]

@@ -1,0 +1,195 @@
+"""The checkpointing-protocol framework.
+
+A :class:`CheckpointProtocol` instance is the per-process control state
+of one communication-induced checkpointing protocol.  The driver (the
+trace replayer in :mod:`repro.sim.replay`, or your own event loop) must
+honour the following contract, which mirrors the paper's Figure 6:
+
+1. construct the instance -- this corresponds to statement (S0), *after*
+   which the driver records the initial checkpoint ``C(i,0)`` and calls
+   nothing (initialisation includes the initial take_checkpoint);
+2. on a basic checkpoint: record the checkpoint event, then call
+   :meth:`on_checkpoint`;
+3. on sending to ``dst``: call :meth:`on_send` and attach the returned
+   piggyback to the message (statement S1);
+4. on message arrival carrying piggyback ``pb`` from ``sender``:
+   call :meth:`wants_forced_checkpoint`; if true, record a FORCED
+   checkpoint event and call :meth:`on_checkpoint`; then call
+   :meth:`on_receive` and finally deliver (statement S2).
+
+Protocols never block, reorder or drop messages and add no control
+messages: they only decide "checkpoint before this delivery or not" --
+exactly the CIC model of the paper.  (The coordinated Chandy-Lamport
+baseline, which *does* use control messages, lives outside this
+framework in :mod:`repro.core.coordinated`.)
+
+All protocols expose their transitive dependency vector, so the driver
+can (a) cross-check it against the offline reference and (b) harvest the
+on-the-fly minimum-global-checkpoint vectors of Corollary 4.5.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Tuple
+
+from repro.core.piggyback import Piggyback
+from repro.types import ProcessId, ProtocolError
+
+
+class CheckpointProtocol(abc.ABC):
+    """Per-process protocol state and decision logic."""
+
+    #: Registry name, overridden by concrete classes.
+    name: str = "abstract"
+    #: Does the protocol guarantee RDT of the resulting pattern?
+    ensures_rdt: bool = True
+    #: Does the piggyback carry the TDV (making saved vectors meaningful
+    #: across processes, e.g. for Corollary 4.5)?
+    carries_tdv: bool = True
+
+    def __init__(self, pid: ProcessId, n: int) -> None:
+        if not 0 <= pid < n:
+            raise ProtocolError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        # TDV_i[i] is the index of the current interval == index of the
+        # next checkpoint; entry starts at 1 because C(i,0) is taken at
+        # initialisation (S0).
+        self.tdv: List[int] = [0] * n
+        self.tdv[pid] = 1
+        #: Saved TDV copies, one per taken checkpoint (index-aligned).
+        self._saved_tdv: List[Tuple[int, ...]] = [tuple([0] * n)]
+        #: Forced-checkpoint decisions taken so far (for metrics).
+        self.forced_count = 0
+        self.piggyback_bits_sent = 0
+        #: Interval-local communication flags, maintained by the base
+        #: class for every protocol: they feed both the classical
+        #: predicates (NRAS/CBR/FDI) and predicate introspection.
+        self.sent_to: List[bool] = [False] * n
+        self.deliveries_in_interval = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def current_interval(self) -> int:
+        return self.tdv[self.pid]
+
+    @property
+    def next_checkpoint_index(self) -> int:
+        return self.tdv[self.pid]
+
+    def saved_tdv(self, index: int) -> Tuple[int, ...]:
+        """``TDV_{i,index}``: the vector saved at checkpoint ``index``.
+
+        For protocols of the TDV family this is also the minimum
+        consistent global checkpoint containing ``C(i, index)``
+        (Corollary 4.5) when the protocol ensures RDT.
+        """
+        return self._saved_tdv[index]
+
+    def min_gcp_of(self, index: int) -> Dict[ProcessId, int]:
+        """Corollary 4.5's on-the-fly minimum consistent GCP."""
+        vec = self.saved_tdv(index)
+        return {pid: vec[pid] for pid in range(self.n)}
+
+    # interval-local introspection ------------------------------------
+    @property
+    def after_first_send(self) -> bool:
+        """FDAS's flag, derivable from ``sent_to``."""
+        return any(self.sent_to)
+
+    @property
+    def had_communication(self) -> bool:
+        """Any send or delivery in the current interval (FDI's flag)."""
+        return self.after_first_send or self.deliveries_in_interval > 0
+
+    # ------------------------------------------------------------------
+    # driver API
+    # ------------------------------------------------------------------
+    def on_checkpoint(self, forced: bool = False) -> None:
+        """A checkpoint (basic or forced) was just recorded.
+
+        Saves the current TDV (its value *at* the checkpoint), opens the
+        next interval and resets the interval-local flags; subclasses
+        extend with their own resets and must call
+        ``super().on_checkpoint(forced)``.
+        """
+        if forced:
+            self.forced_count += 1
+        self._saved_tdv.append(tuple(self.tdv))
+        self.tdv[self.pid] += 1
+        self.sent_to = [False] * self.n
+        self.deliveries_in_interval = 0
+
+    def on_send(self, dst: ProcessId) -> Piggyback:
+        """Statement S1: note the send, return the piggyback snapshot.
+
+        The base implementation maintains ``sent_to`` and delegates the
+        snapshot to :meth:`make_piggyback`.
+        """
+        if dst == self.pid:
+            raise ProtocolError("a process does not send messages to itself")
+        self.sent_to[dst] = True
+        return self._count_piggyback(self.make_piggyback(dst))
+
+    @abc.abstractmethod
+    def make_piggyback(self, dst: ProcessId) -> Piggyback:
+        """Snapshot the control information to ride on a message."""
+
+    @abc.abstractmethod
+    def wants_forced_checkpoint(self, pb: Piggyback, sender: ProcessId) -> bool:
+        """The protocol's forcing predicate, evaluated on arrival.
+
+        Must be side-effect free: the driver may call it any number of
+        times before committing to the delivery.
+        """
+
+    def wants_checkpoint_after_send(self) -> bool:
+        """Checkpoint-after-send hook (only Wu-Fuchs's CAS returns True)."""
+        return False
+
+    def on_receive(self, pb: Piggyback, sender: ProcessId) -> None:
+        """Update control state from the piggyback, just before delivery.
+
+        Called after the forced checkpoint, if the predicate demanded
+        one.  Subclasses extend and must call ``super().on_receive``.
+        """
+        self.deliveries_in_interval += 1
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _merge_tdv(self, other: Tuple[int, ...]) -> None:
+        for k in range(self.n):
+            if other[k] > self.tdv[k]:
+                self.tdv[k] = other[k]
+
+    def _count_piggyback(self, pb: Piggyback) -> Piggyback:
+        self.piggyback_bits_sent += pb.size_bits()
+        return pb
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} P{self.pid} interval={self.current_interval}>"
+
+
+class ProtocolFamily:
+    """A convenience bundle: one protocol instance per process."""
+
+    def __init__(self, factory, n: int) -> None:
+        self.members: List[CheckpointProtocol] = [factory(pid, n) for pid in range(n)]
+        self.n = n
+
+    def __getitem__(self, pid: ProcessId) -> CheckpointProtocol:
+        return self.members[pid]
+
+    @property
+    def name(self) -> str:
+        return self.members[0].name if self.members else "empty"
+
+    def total_forced(self) -> int:
+        return sum(p.forced_count for p in self.members)
+
+    def total_piggyback_bits(self) -> int:
+        return sum(p.piggyback_bits_sent for p in self.members)

@@ -1,0 +1,79 @@
+"""Protocol registry: name -> class, plus factory helpers.
+
+The registry is what the simulation harness, the benchmarks and the
+examples use to refer to protocols by the names the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.core.baselines import IndependentProtocol
+from repro.core.bhmr import (
+    BHMRCausalOnlyProtocol,
+    BHMRNoSimpleProtocol,
+    BHMRProtocol,
+)
+from repro.core.classical import CASProtocol, CBRProtocol, NRASProtocol
+from repro.core.fdas import FDASProtocol, FDIProtocol
+from repro.core.index_based import BCSProtocol, LazyBCSProtocol
+from repro.core.protocol import CheckpointProtocol, ProtocolFamily
+from repro.types import ProcessId, ProtocolError
+
+PROTOCOLS: Dict[str, Type[CheckpointProtocol]] = {
+    cls.name: cls
+    for cls in (
+        BHMRProtocol,
+        BHMRNoSimpleProtocol,
+        BHMRCausalOnlyProtocol,
+        FDASProtocol,
+        FDIProtocol,
+        NRASProtocol,
+        CBRProtocol,
+        CASProtocol,
+        BCSProtocol,
+        LazyBCSProtocol,
+        IndependentProtocol,
+    )
+}
+
+#: Protocols that guarantee Z-cycle freedom but not full RDT.
+ZCF_ONLY_FAMILY: List[str] = ["bcs"]
+
+#: The RDT-ensuring subfamily, ordered from least to most conservative
+#: (the order the paper's section 5.2 establishes, completed with the
+#: classical protocols).
+RDT_FAMILY: List[str] = [
+    "bhmr",
+    "bhmr-nosimple",
+    "bhmr-causalonly",
+    "fdas",
+    "fdi",
+    "nras",
+    "cbr",
+    "cas",
+]
+
+
+def protocol_class(name: str) -> Type[CheckpointProtocol]:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ProtocolError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+def make_protocol(name: str, pid: ProcessId, n: int) -> CheckpointProtocol:
+    """Instantiate one process's protocol object by registry name."""
+    return protocol_class(name)(pid, n)
+
+
+def make_family(name: str, n: int) -> ProtocolFamily:
+    """Instantiate the protocol for all ``n`` processes."""
+    cls = protocol_class(name)
+    return ProtocolFamily(cls, n)
+
+
+def protocol_factory(name: str) -> Callable[[ProcessId, int], CheckpointProtocol]:
+    cls = protocol_class(name)
+    return lambda pid, n: cls(pid, n)

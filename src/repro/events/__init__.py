@@ -1,0 +1,33 @@
+"""Event model: computations, messages, checkpoints, recorded patterns."""
+
+from repro.events.builder import PatternBuilder, figure1_pattern
+from repro.events.event import CheckpointKind, Event, EventKind, Message
+from repro.events.history import History
+from repro.events.io import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    save_history,
+)
+from repro.events.random_pattern import ping_pong_domino_pattern, random_pattern
+from repro.events.render import render_cut, render_space_time
+from repro.events.validate import validate_history
+
+__all__ = [
+    "CheckpointKind",
+    "Event",
+    "EventKind",
+    "History",
+    "Message",
+    "PatternBuilder",
+    "figure1_pattern",
+    "history_from_dict",
+    "history_to_dict",
+    "load_history",
+    "ping_pong_domino_pattern",
+    "save_history",
+    "random_pattern",
+    "render_cut",
+    "render_space_time",
+    "validate_history",
+]

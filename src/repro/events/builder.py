@@ -1,0 +1,211 @@
+"""Hand-crafting checkpoint-and-communication patterns.
+
+:class:`PatternBuilder` is a tiny imperative DSL used throughout the test
+suite to reconstruct the paper's figures event by event::
+
+    b = PatternBuilder(3)            # processes P0, P1, P2
+    m1 = b.send(0, 1)                # P0 sends m1 to P1
+    b.checkpoint(1)                  # P1 takes C(1,1)
+    b.deliver(m1)                    # m1 arrives at P1 (now in I(1,2))
+    h = b.build()
+
+Operations are appended in program order; each gets the next logical
+timestamp, so the global time order equals the order of the calls.  A
+delivery may only be issued after the corresponding send, which makes any
+built history causally consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.events.event import CheckpointKind, Event, EventKind, Message
+from repro.events.history import History
+from repro.events.validate import validate_history
+from repro.types import MessageId, PatternError, ProcessId
+
+
+class PatternBuilder:
+    """Incrementally build a :class:`History`.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.  Initial checkpoints ``C(i, 0)`` are created
+        automatically at time 0.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise PatternError("need at least one process")
+        self._n = n
+        self._time = 0.0
+        self._events: List[List[Event]] = [[] for _ in range(n)]
+        self._messages: Dict[MessageId, Message] = {}
+        self._delivered: Set[MessageId] = set()
+        self._next_msg = 0
+        self._ckpt_index = [0] * n
+        for pid in range(n):
+            self._append(
+                pid,
+                EventKind.CHECKPOINT,
+                checkpoint_index=0,
+                checkpoint_kind=CheckpointKind.INITIAL,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        return self._n
+
+    def _next_time(self) -> float:
+        self._time += 1.0
+        return self._time
+
+    def _append(self, pid: ProcessId, kind: EventKind, **fields) -> Event:
+        self._check_pid(pid)
+        ev = Event(
+            pid=pid,
+            seq=len(self._events[pid]),
+            kind=kind,
+            time=self._next_time(),
+            **fields,
+        )
+        self._events[pid].append(ev)
+        return ev
+
+    def _check_pid(self, pid: ProcessId) -> None:
+        if not 0 <= pid < self._n:
+            raise PatternError(f"no such process: {pid}")
+
+    # ------------------------------------------------------------------
+    # DSL operations
+    # ------------------------------------------------------------------
+    def internal(self, pid: ProcessId) -> Event:
+        """Append an internal event at ``pid``."""
+        return self._append(pid, EventKind.INTERNAL)
+
+    def send(self, src: ProcessId, dst: ProcessId, size: int = 1) -> MessageId:
+        """Append a send event at ``src`` for a new message to ``dst``."""
+        self._check_pid(dst)
+        if src == dst:
+            raise PatternError("a process does not send messages to itself")
+        msg_id = self._next_msg
+        self._next_msg += 1
+        ev = self._append(src, EventKind.SEND, msg_id=msg_id)
+        self._messages[msg_id] = Message(
+            msg_id=msg_id, src=src, dst=dst, send_seq=ev.seq, size=size
+        )
+        return msg_id
+
+    def deliver(self, msg_id: MessageId) -> Event:
+        """Append the delivery event of a previously sent message."""
+        if msg_id not in self._messages:
+            raise PatternError(f"unknown message {msg_id}")
+        if msg_id in self._delivered:
+            raise PatternError(f"message {msg_id} already delivered")
+        m = self._messages[msg_id]
+        ev = self._append(m.dst, EventKind.DELIVER, msg_id=msg_id)
+        self._messages[msg_id] = Message(
+            msg_id=m.msg_id,
+            src=m.src,
+            dst=m.dst,
+            send_seq=m.send_seq,
+            deliver_seq=ev.seq,
+            size=m.size,
+        )
+        self._delivered.add(msg_id)
+        return ev
+
+    def transmit(self, src: ProcessId, dst: ProcessId, size: int = 1) -> MessageId:
+        """Send and immediately deliver a message (a causal chain of one)."""
+        msg_id = self.send(src, dst, size=size)
+        self.deliver(msg_id)
+        return msg_id
+
+    def checkpoint(
+        self, pid: ProcessId, kind: CheckpointKind = CheckpointKind.BASIC
+    ) -> int:
+        """Append a checkpoint at ``pid``; returns its index."""
+        self._check_pid(pid)
+        self._ckpt_index[pid] += 1
+        index = self._ckpt_index[pid]
+        self._append(
+            pid, EventKind.CHECKPOINT, checkpoint_index=index, checkpoint_kind=kind
+        )
+        return index
+
+    def checkpoint_all(self) -> None:
+        """Take one checkpoint on every process (e.g. to close a pattern)."""
+        for pid in range(self._n):
+            self.checkpoint(pid)
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True, close: bool = False) -> History:
+        """Freeze the pattern into a :class:`History`.
+
+        ``close=True`` appends FINAL checkpoints to any process whose last
+        interval contains events and drops in-transit messages, producing a
+        closed history suitable for whole-pattern analyses.
+        """
+        h = History(self._events, self._messages)
+        if close:
+            h = h.closed()
+        if validate:
+            validate_history(h)
+        return h
+
+
+def figure1_pattern() -> History:
+    """The checkpoint and communication pattern of the paper's Figure 1a.
+
+    Three processes ``i=0, j=1, k=2``; checkpoints ``C(i,0..3)``,
+    ``C(j,0..3)``, ``C(k,0..3)`` and messages ``m1..m7`` (ids 0..6 here).
+    The figure fixes, in particular:
+
+    * ``m1``: ``I(i,1) -> I(j,1)``; ``m2``: ``I(j,1) -> I(i,2)``
+    * ``m3``: ``I(k,1) -> I(j,1)``; ``m4``: ``I(j,2) -> I(k,2)``
+    * ``m5``: ``I(i,3) -> I(j,2)`` (orphan w.r.t. ``(C(i,2), C(j,2))``)
+    * ``m6``: ``I(j,3) -> I(k,2)``; ``m7``: ``I(k,3) -> I(j,3)``
+
+    It exhibits the non-causal chain ``[m5, m4]`` with causal sibling
+    ``[m5, m6]`` and the non-causal chain ``[m3, m2]`` from ``C(k,1)`` to
+    ``C(i,2)``.
+    """
+    i, j, k = 0, 1, 2
+    b = PatternBuilder(3)
+    # Interval 1 activity.  send(m2) precedes deliver(m3) at P_j, so the
+    # junction m3 -> m2 is non-causal (both in I(j,1)): [m3, m2] is a
+    # non-causal chain from C(k,1) to C(i,2).
+    m1 = b.send(i, j)
+    b.deliver(m1)
+    m2 = b.send(j, i)
+    m3 = b.send(k, j)
+    b.deliver(m3)
+    # First checkpoints.
+    b.checkpoint(i)  # C(i,1)
+    b.checkpoint(j)  # C(j,1)
+    b.checkpoint(k)  # C(k,1)
+    # Interval 2 activity.  send(m4) precedes deliver(m5) at P_j, so
+    # [m5, m4] is non-causal; [m5, m6] is its causal sibling.
+    b.deliver(m2)  # m2 arrives at i in I(i,2): junction m2 -> m5 is causal
+    b.checkpoint(i)  # C(i,2)
+    m5 = b.send(i, j)  # sent in I(i,3)
+    m4 = b.send(j, k)  # sent in I(j,2), before deliver(m5)
+    b.deliver(m5)  # delivered at j in I(j,2): orphan w.r.t. (C(i,2), C(j,2))
+    b.checkpoint(j)  # C(j,2)
+    m6 = b.send(j, k)  # sent in I(j,3), after deliver(m5): causal sibling
+    b.deliver(m4)  # both delivered at k in I(k,2)
+    b.deliver(m6)
+    b.checkpoint(k)  # C(k,2)
+    m7 = b.send(k, j)  # sent in I(k,3)
+    b.deliver(m7)  # delivered at j in I(j,3): junction m4 -> m7 is causal
+    b.checkpoint(i)  # C(i,3)
+    b.checkpoint(j)  # C(j,3)
+    b.checkpoint(k)  # C(k,3)
+    history = b.build()
+    # Expose the figure's message names for tests: m1..m7 -> ids.
+    history.figure_names = {  # type: ignore[attr-defined]
+        "m1": m1, "m2": m2, "m3": m3, "m4": m4, "m5": m5, "m6": m6, "m7": m7,
+    }
+    return history

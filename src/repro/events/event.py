@@ -1,0 +1,141 @@
+"""Event and message records of a distributed computation.
+
+A computation is modelled exactly as in the paper's section 2: each
+process produces a finite sequence of events; events are *internal*,
+*send*, *delivery* or *checkpoint* events.  Checkpoint events are part of
+the recorded sequence (the paper treats taking a checkpoint as a local
+action); the initial checkpoint ``C(i, 0)`` is the first event of every
+process.
+
+Events are immutable value objects referenced by ``(pid, seq)`` where
+``seq`` is the position in the owning process's sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.types import MessageId, ProcessId
+
+
+class EventKind(enum.Enum):
+    """The four statement kinds of the computational model."""
+
+    INTERNAL = "internal"
+    SEND = "send"
+    DELIVER = "deliver"
+    CHECKPOINT = "checkpoint"
+
+    def __repr__(self) -> str:
+        return f"EventKind.{self.name}"
+
+
+class CheckpointKind(enum.Enum):
+    """Why a checkpoint event was taken.
+
+    * ``INITIAL`` -- the mandatory ``C(i, 0)``.
+    * ``BASIC`` -- taken autonomously by the application.
+    * ``FORCED`` -- induced by a communication-induced protocol before a
+      message delivery.
+    * ``FINAL`` -- taken when closing a finite history so that every
+      interval is eventually closed (the paper assumes "after each event a
+      checkpoint will eventually be taken").
+    """
+
+    INITIAL = "initial"
+    BASIC = "basic"
+    FORCED = "forced"
+    FINAL = "final"
+
+    def __repr__(self) -> str:
+        return f"CheckpointKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of one process.
+
+    Attributes
+    ----------
+    pid:
+        Owning process.
+    seq:
+        Position in the owning process's event sequence (0-based; the
+        initial checkpoint has ``seq == 0``).
+    kind:
+        One of :class:`EventKind`.
+    time:
+        Global timestamp.  Only its *order* matters to the theory; the
+        simulator uses simulated seconds, the pattern builder uses a
+        logical counter.  Send events always carry a strictly smaller time
+        than the matching delivery.
+    msg_id:
+        For SEND/DELIVER events, the message involved.
+    checkpoint_index:
+        For CHECKPOINT events, the index ``x`` of ``C(pid, x)``.
+    checkpoint_kind:
+        For CHECKPOINT events, why it was taken.
+    """
+
+    pid: ProcessId
+    seq: int
+    kind: EventKind
+    time: float
+    msg_id: Optional[MessageId] = None
+    checkpoint_index: Optional[int] = None
+    checkpoint_kind: Optional[CheckpointKind] = None
+
+    @property
+    def is_checkpoint(self) -> bool:
+        return self.kind is EventKind.CHECKPOINT
+
+    @property
+    def is_send(self) -> bool:
+        return self.kind is EventKind.SEND
+
+    @property
+    def is_deliver(self) -> bool:
+        return self.kind is EventKind.DELIVER
+
+    @property
+    def ref(self) -> tuple:
+        """Stable reference ``(pid, seq)`` used as a dictionary key."""
+        return (self.pid, self.seq)
+
+    def __repr__(self) -> str:
+        core = f"P{self.pid}#{self.seq}@{self.time:g}"
+        if self.is_checkpoint:
+            kind = self.checkpoint_kind.value if self.checkpoint_kind else "?"
+            return f"<ckpt C({self.pid},{self.checkpoint_index}) {kind} {core}>"
+        if self.msg_id is not None:
+            return f"<{self.kind.value} m{self.msg_id} {core}>"
+        return f"<{self.kind.value} {core}>"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message.
+
+    ``deliver_pid``/``deliver_seq`` are ``None`` while (or if) the message
+    is still in transit when the history ends.  ``size`` is the payload
+    size in bytes (used only by overhead accounting); piggybacked control
+    information is accounted separately by the protocols.
+    """
+
+    msg_id: MessageId
+    src: ProcessId
+    dst: ProcessId
+    send_seq: int
+    deliver_seq: Optional[int] = None
+    size: int = 1
+
+    @property
+    def delivered(self) -> bool:
+        return self.deliver_seq is not None
+
+    def __repr__(self) -> str:
+        arrow = f"P{self.src}->P{self.dst}"
+        status = f"dlv@{self.deliver_seq}" if self.delivered else "in-transit"
+        return f"<m{self.msg_id} {arrow} snd@{self.send_seq} {status}>"

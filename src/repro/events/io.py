@@ -1,0 +1,128 @@
+"""JSON (de)serialisation of histories and traces.
+
+Lets users persist simulated runs, exchange recorded patterns between
+tools, and -- importantly for adoption -- feed *externally recorded*
+executions into the analysis layer: anything that can emit the simple
+JSON schema below can be checked for RDT, Z-cycles, recovery lines, etc.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-history", "version": 1, "n": 3,
+      "events": [[{"kind": "checkpoint", "time": 0.0, "index": 0,
+                   "ckind": "initial"},
+                  {"kind": "send", "time": 1.5, "msg": 0}, ...], ...],
+      "messages": [{"id": 0, "src": 0, "dst": 1, "size": 1}, ...]
+    }
+
+Event ``seq`` numbers and message event seqs are implicit in positions
+and recomputed on load; the loaded history is fully validated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Union
+
+from repro.events.event import CheckpointKind, Event, EventKind, Message
+from repro.events.history import History
+from repro.events.validate import validate_history
+from repro.types import PatternError
+
+_FORMAT = "repro-history"
+_VERSION = 1
+
+
+def history_to_dict(history: History) -> Dict:
+    """The JSON-ready dict form of a history."""
+    events: List[List[Dict]] = []
+    for pid in range(history.num_processes):
+        lane = []
+        for ev in history.events(pid):
+            entry: Dict[str, object] = {"kind": ev.kind.value, "time": ev.time}
+            if ev.kind is EventKind.CHECKPOINT:
+                entry["index"] = ev.checkpoint_index
+                assert ev.checkpoint_kind is not None
+                entry["ckind"] = ev.checkpoint_kind.value
+            elif ev.kind in (EventKind.SEND, EventKind.DELIVER):
+                entry["msg"] = ev.msg_id
+            lane.append(entry)
+        events.append(lane)
+    messages = [
+        {"id": m.msg_id, "src": m.src, "dst": m.dst, "size": m.size}
+        for m in sorted(history.messages.values(), key=lambda m: m.msg_id)
+    ]
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n": history.num_processes,
+        "events": events,
+        "messages": messages,
+    }
+
+
+def history_from_dict(data: Dict) -> History:
+    """Rebuild (and validate) a history from its dict form."""
+    if data.get("format") != _FORMAT:
+        raise PatternError(f"not a {_FORMAT} document")
+    if data.get("version") != _VERSION:
+        raise PatternError(f"unsupported version {data.get('version')!r}")
+    n = data["n"]
+    meta = {m["id"]: m for m in data["messages"]}
+    send_seq: Dict[int, int] = {}
+    deliver_seq: Dict[int, int] = {}
+    events: List[List[Event]] = []
+    for pid in range(n):
+        lane: List[Event] = []
+        for seq, entry in enumerate(data["events"][pid]):
+            kind = EventKind(entry["kind"])
+            fields: Dict[str, object] = {}
+            if kind is EventKind.CHECKPOINT:
+                fields["checkpoint_index"] = entry["index"]
+                fields["checkpoint_kind"] = CheckpointKind(entry["ckind"])
+            elif kind in (EventKind.SEND, EventKind.DELIVER):
+                msg_id = entry["msg"]
+                fields["msg_id"] = msg_id
+                if kind is EventKind.SEND:
+                    send_seq[msg_id] = seq
+                else:
+                    deliver_seq[msg_id] = seq
+            lane.append(
+                Event(pid=pid, seq=seq, kind=kind, time=entry["time"], **fields)
+            )
+        events.append(lane)
+    messages: Dict[int, Message] = {}
+    for msg_id, m in meta.items():
+        if msg_id not in send_seq:
+            raise PatternError(f"message {msg_id} has no send event")
+        messages[msg_id] = Message(
+            msg_id=msg_id,
+            src=m["src"],
+            dst=m["dst"],
+            send_seq=send_seq[msg_id],
+            deliver_seq=deliver_seq.get(msg_id),
+            size=m.get("size", 1),
+        )
+    history = History(events, messages)
+    validate_history(history)
+    return history
+
+
+def save_history(history: History, target: Union[str, IO[str]]) -> None:
+    """Write a history as JSON to a path or open text file."""
+    data = history_to_dict(history)
+    if isinstance(target, str):
+        with open(target, "w") as fh:
+            json.dump(data, fh)
+    else:
+        json.dump(data, target)
+
+
+def load_history(source: Union[str, IO[str]]) -> History:
+    """Read a history from a path or open text file."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(source)
+    return history_from_dict(data)

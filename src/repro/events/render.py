@@ -1,0 +1,87 @@
+"""ASCII space-time diagrams of checkpoint-and-communication patterns.
+
+Renders a history the way the paper's figures draw them: one horizontal
+lane per process, checkpoints as ``[x]`` boxes, sends and deliveries as
+labelled ticks, with a message legend.  Meant for terminal inspection of
+small patterns (examples, debugging, teaching); large histories are
+better served by the analysis APIs.
+
+Example (the paper's Figure 1)::
+
+    P0 |[0]--s0------------[1]-r1-[2]-s4----------------[3]------
+    P1 |[0]------r0-s1--r2-----[1]------s3-r4-[2]-s5------r6-[3]-
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.events.event import EventKind
+from repro.events.history import History
+
+_CELL = {
+    EventKind.SEND: "s{}",
+    EventKind.DELIVER: "r{}",
+}
+
+
+def render_space_time(
+    history: History,
+    max_width: Optional[int] = None,
+    show_legend: bool = True,
+) -> str:
+    """Render the history as one text lane per process.
+
+    Events are placed in global time order (one column each), so
+    vertical alignment reflects the real interleaving; a send always
+    appears left of its delivery.  ``max_width`` truncates output for
+    very long histories (an ellipsis marks the cut).
+    """
+    order = history.events_by_time()
+    columns: Dict[tuple, int] = {ev.ref: k for k, ev in enumerate(order)}
+    ncols = len(order)
+    lanes: List[List[str]] = []
+    width = 0
+    for pid in range(history.num_processes):
+        cells = [""] * ncols
+        for ev in history.events(pid):
+            col = columns[ev.ref]
+            if ev.kind is EventKind.CHECKPOINT:
+                cells[col] = f"[{ev.checkpoint_index}]"
+            elif ev.kind in _CELL:
+                cells[col] = _CELL[ev.kind].format(ev.msg_id)
+            else:
+                cells[col] = "*"
+        lanes.append(cells)
+    col_width = [
+        max(2, *(len(lane[k]) for lane in lanes)) for k in range(ncols)
+    ] if ncols else []
+    lines = []
+    for pid, cells in enumerate(lanes):
+        parts = []
+        for k, cell in enumerate(cells):
+            parts.append(cell.ljust(col_width[k], "-") if cell else "-" * col_width[k])
+        lane = f"P{pid} |" + "-".join(parts)
+        if max_width is not None and len(lane) > max_width:
+            lane = lane[: max_width - 3] + "..."
+        lines.append(lane)
+        width = max(width, len(lane))
+    if show_legend and history.num_messages() > 0:
+        lines.append("")
+        legend = []
+        for m in sorted(history.messages.values(), key=lambda m: m.msg_id):
+            arrow = f"m{m.msg_id}: P{m.src}->P{m.dst}"
+            if not m.delivered:
+                arrow += " (in transit)"
+            legend.append(arrow)
+        lines.append("messages: " + ", ".join(legend))
+    return "\n".join(lines)
+
+
+def render_cut(history: History, cut: Dict[int, int], label: str = "cut") -> str:
+    """Render a global checkpoint as per-process markers under the lanes."""
+    parts = [f"{label}:"]
+    for pid in sorted(cut):
+        parts.append(f"P{pid}@C({pid},{cut[pid]})")
+    return " ".join(parts)

@@ -1,0 +1,123 @@
+"""Structural validation of histories.
+
+:func:`validate_history` checks every well-formedness rule that the rest
+of the library assumes, raising :class:`repro.types.PatternError` with a
+precise description on the first violation.  Analyses never re-check
+these invariants, so validation is the single gate between untrusted
+pattern construction (builders, simulators, user code) and the theory
+layer.
+"""
+
+from __future__ import annotations
+
+from repro.events.event import CheckpointKind, EventKind
+from repro.events.history import History
+from repro.types import PatternError
+
+
+def validate_history(history: History) -> None:
+    """Check structural invariants; raise :class:`PatternError` if broken.
+
+    Invariants enforced:
+
+    1. per-process sequences are densely numbered and strictly increasing
+       in time;
+    2. every process starts with the initial checkpoint ``C(i, 0)`` and
+       checkpoint indices are contiguous;
+    3. send/deliver events reference existing messages, at the right
+       endpoint, exactly once, with ``time(send) < time(deliver)``;
+    4. every message's recorded seqs point back at its own events.
+    """
+    n = history.num_processes
+    _check_sequences(history, n)
+    _check_checkpoints(history, n)
+    _check_messages(history, n)
+
+
+def _check_sequences(history: History, n: int) -> None:
+    for pid in range(n):
+        prev_time = None
+        for pos, ev in enumerate(history.events(pid)):
+            if ev.pid != pid:
+                raise PatternError(f"event {ev!r} stored under process {pid}")
+            if ev.seq != pos:
+                raise PatternError(
+                    f"process {pid}: event at position {pos} has seq {ev.seq}"
+                )
+            if prev_time is not None and ev.time <= prev_time:
+                raise PatternError(
+                    f"process {pid}: non-increasing event times at seq {pos}"
+                )
+            prev_time = ev.time
+
+
+def _check_checkpoints(history: History, n: int) -> None:
+    for pid in range(n):
+        ckpts = history.checkpoints(pid)
+        first = ckpts[0]
+        if first.seq != 0 or first.checkpoint_index != 0:
+            raise PatternError(f"process {pid} lacks initial checkpoint C({pid},0)")
+        if first.checkpoint_kind is not CheckpointKind.INITIAL:
+            raise PatternError(f"C({pid},0) must have kind INITIAL")
+        for expect, ev in enumerate(ckpts):
+            if ev.checkpoint_index != expect:
+                raise PatternError(
+                    f"process {pid}: checkpoint indices not contiguous at "
+                    f"index {expect} (found {ev.checkpoint_index})"
+                )
+            if expect > 0 and ev.checkpoint_kind is CheckpointKind.INITIAL:
+                raise PatternError(f"C({pid},{expect}) wrongly marked INITIAL")
+
+
+def _check_messages(history: History, n: int) -> None:
+    seen_send = set()
+    seen_deliver = set()
+    for pid in range(n):
+        for ev in history.events(pid):
+            if ev.kind is EventKind.SEND:
+                _check_send_event(history, ev, seen_send)
+            elif ev.kind is EventKind.DELIVER:
+                _check_deliver_event(history, ev, seen_deliver)
+    for mid, m in history.messages.items():
+        if mid != m.msg_id:
+            raise PatternError(f"message table key {mid} != id {m.msg_id}")
+        if m.src == m.dst:
+            raise PatternError(f"message {mid} sent to self")
+        if not (0 <= m.src < n and 0 <= m.dst < n):
+            raise PatternError(f"message {mid} references unknown process")
+        if mid not in seen_send:
+            raise PatternError(f"message {mid} has no send event")
+        if m.delivered:
+            send_ev = history.send_event(m)
+            deliver_ev = history.deliver_event(m)
+            assert deliver_ev is not None
+            if deliver_ev.time <= send_ev.time:
+                raise PatternError(f"message {mid} delivered before being sent")
+
+
+def _check_send_event(history: History, ev, seen_send) -> None:
+    if ev.msg_id is None:
+        raise PatternError(f"send event {ev!r} lacks msg_id")
+    if ev.msg_id in seen_send:
+        raise PatternError(f"message {ev.msg_id} sent twice")
+    seen_send.add(ev.msg_id)
+    try:
+        m = history.message(ev.msg_id)
+    except KeyError:
+        raise PatternError(f"send event references unknown message {ev.msg_id}")
+    if m.src != ev.pid or m.send_seq != ev.seq:
+        raise PatternError(f"message {ev.msg_id} send endpoint mismatch")
+
+
+def _check_deliver_event(history: History, ev, seen_deliver) -> None:
+    if ev.msg_id is None:
+        raise PatternError(f"deliver event {ev!r} lacks msg_id")
+    if ev.msg_id in seen_deliver:
+        raise PatternError(f"message {ev.msg_id} delivered twice")
+    seen_deliver.add(ev.msg_id)
+    try:
+        m = history.message(ev.msg_id)
+    except KeyError:
+        raise PatternError(f"deliver event references unknown message {ev.msg_id}")
+    if m.dst != ev.pid or m.deliver_seq != ev.seq:
+        raise PatternError(f"message {ev.msg_id} deliver endpoint mismatch")

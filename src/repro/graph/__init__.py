@@ -1,0 +1,7 @@
+"""Dependency graphs: the R-graph and the message-chain (Z-path) engine."""
+
+from repro.graph.reachability import Closure, DenseDigraph
+from repro.graph.rgraph import RGraph
+from repro.graph.zpaths import ChainReach, ZPathAnalyzer
+
+__all__ = ["ChainReach", "Closure", "DenseDigraph", "RGraph", "ZPathAnalyzer"]

@@ -1,0 +1,196 @@
+"""Transitive closure for small directed graphs, cycles allowed.
+
+The R-graph of a checkpoint pattern is a digraph that may contain cycles
+(a cycle is exactly how a Z-cycle / useless checkpoint shows up), so the
+closure is computed by Tarjan SCC condensation followed by bitset
+propagation in reverse topological order.  Bitsets are plain Python
+integers, which keeps the per-node union a single ``|`` operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+class DenseDigraph:
+    """A digraph over nodes ``0 .. n-1`` with adjacency lists."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._succ: List[Set[int]] = [set() for _ in range(n)]
+        self._pred: List[Set[int]] = [set() for _ in range(n)]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def add_edge(self, u: int, v: int) -> None:
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def successors(self, u: int) -> Set[int]:
+        return set(self._succ[u])
+
+    def predecessors(self, v: int) -> Set[int]:
+        return set(self._pred[v])
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        for u, outs in enumerate(self._succ):
+            for v in sorted(outs):
+                yield (u, v)
+
+    def num_edges(self) -> int:
+        return sum(len(outs) for outs in self._succ)
+
+    # ------------------------------------------------------------------
+    def tarjan_scc(self) -> List[List[int]]:
+        """Strongly connected components in reverse topological order.
+
+        Iterative Tarjan (no recursion, safe for large graphs).  The
+        returned order has every component appearing *before* any
+        component it has edges into -- convenient for closure propagation.
+        """
+        n = self._n
+        index_of = [-1] * n
+        lowlink = [0] * n
+        on_stack = [False] * n
+        stack: List[int] = []
+        sccs: List[List[int]] = []
+        counter = 0
+        for root in range(n):
+            if index_of[root] != -1:
+                continue
+            work: List[Tuple[int, Iterable[int]]] = [(root, iter(self._succ[root]))]
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                u, it = work[-1]
+                advanced = False
+                for v in it:
+                    if index_of[v] == -1:
+                        index_of[v] = lowlink[v] = counter
+                        counter += 1
+                        stack.append(v)
+                        on_stack[v] = True
+                        work.append((v, iter(self._succ[v])))
+                        advanced = True
+                        break
+                    if on_stack[v]:
+                        lowlink[u] = min(lowlink[u], index_of[v])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[u])
+                if lowlink[u] == index_of[u]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == u:
+                            break
+                    sccs.append(comp)
+        return sccs
+
+    def transitive_closure(self) -> "Closure":
+        """Reachability of every node, as a :class:`Closure`."""
+        sccs = self.tarjan_scc()
+        comp_of = [0] * self._n
+        for ci, comp in enumerate(sccs):
+            for node in comp:
+                comp_of[node] = ci
+        # Tarjan emits components in reverse topological order: a
+        # component is finished only after everything it reaches, so
+        # processing sccs in emission order sees successors first.
+        comp_reach: List[int] = [0] * len(sccs)
+        comp_mask: List[int] = [0] * len(sccs)
+        for ci, comp in enumerate(sccs):
+            mask = 0
+            for node in comp:
+                mask |= 1 << node
+            comp_mask[ci] = mask
+        for ci, comp in enumerate(sccs):
+            reach = 0
+            cyclic = len(comp) > 1 or any(
+                node in self._succ[node] for node in comp
+            )
+            for node in comp:
+                for v in self._succ[node]:
+                    cj = comp_of[v]
+                    if cj != ci:
+                        reach |= comp_mask[cj] | comp_reach[cj]
+            if cyclic:
+                reach |= comp_mask[ci]
+            comp_reach[ci] = reach
+        node_reach = [comp_reach[comp_of[u]] for u in range(self._n)]
+        return Closure(node_reach, comp_of, sccs)
+
+
+class Closure:
+    """Precomputed reachability answers.
+
+    ``reaches(u, v)`` is *strict-or-cyclic*: it reports True for ``u == v``
+    only when ``u`` lies on a cycle.  Use ``reaches_or_equal`` for the
+    reflexive relation.
+    """
+
+    def __init__(
+        self,
+        node_reach: Sequence[int],
+        comp_of: Sequence[int],
+        sccs: List[List[int]],
+    ) -> None:
+        self._reach = list(node_reach)
+        self._comp_of = list(comp_of)
+        self._sccs = sccs
+
+    def reaches(self, u: int, v: int) -> bool:
+        return bool(self._reach[u] >> v & 1)
+
+    def reach_mask(self, u: int) -> int:
+        """The raw reachability bitset of ``u`` (bit v set iff u -> v)."""
+        return self._reach[u]
+
+    def reaches_or_equal(self, u: int, v: int) -> bool:
+        return u == v or self.reaches(u, v)
+
+    def reachable_set(self, u: int) -> Set[int]:
+        mask = self._reach[u]
+        out = set()
+        v = 0
+        while mask:
+            if mask & 1:
+                out.add(v)
+            mask >>= 1
+            v += 1
+        return out
+
+    def on_cycle(self, u: int) -> bool:
+        return self.reaches(u, u)
+
+    def cyclic_components(self) -> List[List[int]]:
+        """SCCs that contain at least one cycle, each sorted."""
+        out = []
+        for comp in self._sccs:
+            if len(comp) > 1 or self.reaches(comp[0], comp[0]):
+                out.append(sorted(comp))
+        return out
+
+
+def reachable_from(adjacency: Dict[int, Set[int]], start: int) -> Set[int]:
+    """Plain BFS reachability for ad-hoc graphs given as dict adjacency."""
+    seen: Set[int] = set()
+    frontier = [start]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in adjacency.get(u, ()):  # noqa: B905 - dict access
+                if v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return seen

@@ -1,0 +1,434 @@
+"""Message chains (Z-paths): zigzag and causal reachability.
+
+Definitions implemented here (paper sections 3.2-3.3, after Netzer-Xu):
+
+* a **message chain** ``[m1 .. mq]`` requires, for each consecutive pair,
+  ``deliver(m_v)`` in ``I(k,s)`` and ``send(m_{v+1})`` in ``I(k,t)`` with
+  ``s <= t`` -- the next message may be sent *before* the previous one is
+  delivered, as long as no checkpoint separates them the wrong way;
+* a chain is **causal** when every delivery precedes the next send in
+  process order;
+* a causal chain is **simple** when every junction's delivery and send
+  fall in the *same* checkpoint interval;
+* a chain is *from* ``C(i,x)`` when ``send(m1)`` is in ``I(i,x)`` and
+  *to* ``C(j,y)`` when ``deliver(mq)`` is in ``I(j,y)``.
+
+:class:`ZPathAnalyzer` answers chain-existence queries without ever
+materialising chains, by a monotone BFS over "continuation states": a
+state ``(p, threshold)`` means "a chain has been built whose last message
+allows continuing with any send of ``P_p`` past ``threshold``".  Since a
+lower threshold strictly dominates a higher one, each process needs to be
+expanded only for its best threshold and each message enters the frontier
+at most once, giving O(M log M) per source query.
+
+For tests and pedagogy, bounded explicit chain enumeration is provided as
+well (:meth:`ZPathAnalyzer.enumerate_chains`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.events.event import Message
+from repro.events.history import History
+from repro.types import CheckpointId, MessageId, PatternError
+
+
+class ChainReach:
+    """Result of a single-source chain reachability query.
+
+    ``min_deliver_interval[p]`` is the smallest interval index ``y`` such
+    that a chain of the queried kind ends with a delivery in ``I(p, y)``
+    (``math.inf`` when no chain reaches ``p``).
+    """
+
+    def __init__(self, source: CheckpointId, min_deliver_interval: Dict[int, float]):
+        self.source = source
+        self.min_deliver_interval = min_deliver_interval
+
+    def reaches(self, target: CheckpointId) -> bool:
+        """A chain ends with a delivery in ``I(target.pid, y)``, y <= index.
+
+        This is the *relaxed-endpoint* query used for trackability: a
+        delivery in an earlier interval of the same process reaches the
+        target checkpoint through same-process succession.
+        """
+        return self.min_deliver_interval[target.pid] <= target.index
+
+    def __repr__(self) -> str:
+        return f"<ChainReach from {self.source}: {self.min_deliver_interval}>"
+
+
+class ZPathAnalyzer:
+    """Chain-existence engine for one history."""
+
+    def __init__(self, history: History) -> None:
+        self._history = history
+        n = history.num_processes
+        # Delivered messages sorted by send_seq, per sender.
+        self._sends: List[List[Message]] = [[] for _ in range(n)]
+        for m in history.delivered_messages():
+            self._sends[m.src].append(m)
+        for lst in self._sends:
+            lst.sort(key=lambda m: m.send_seq)
+        self._send_seqs: List[List[int]] = [
+            [m.send_seq for m in lst] for lst in self._sends
+        ]
+        # seq of checkpoint C(p, x), for interval->seq threshold conversion.
+        self._ckpt_seq: List[List[int]] = [
+            [ev.seq for ev in history.checkpoints(pid)] for pid in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _threshold_for_interval(self, pid: int, interval: int) -> int:
+        """Smallest event seq strictly below any send in ``I(pid, interval)``.
+
+        Sends in interval >= ``interval`` are exactly those with
+        ``send_seq > seq(C(pid, interval - 1))``.  ``interval == 0`` never
+        contains events; threshold -1 enables every send.
+        """
+        if interval <= 0:
+            return -1
+        ckpts = self._ckpt_seq[pid]
+        if interval - 1 < len(ckpts):
+            return ckpts[interval - 1]
+        # Interval beyond the open one: contains no events, hence no sends.
+        return math.inf  # type: ignore[return-value]
+
+    def _sends_between(self, pid: int, lo: int, hi: float) -> Iterator[Message]:
+        """Delivered sends of ``pid`` with ``lo < send_seq <= hi``."""
+        seqs = self._send_seqs[pid]
+        start = bisect_right(seqs, lo)
+        for k in range(start, len(seqs)):
+            if seqs[k] > hi:
+                break
+            yield self._sends[pid][k]
+
+    def _check_source(self, source: CheckpointId) -> None:
+        history = self._history
+        if not (0 <= source.pid < history.num_processes):
+            raise PatternError(f"{source}: no such process")
+        if source.index > history.last_index(source.pid) + 1:
+            raise PatternError(f"{source}: no such checkpoint interval")
+
+    # ------------------------------------------------------------------
+    # single-source reachability
+    # ------------------------------------------------------------------
+    def reach(
+        self, source: CheckpointId, causal: bool, exact_start: bool = False
+    ) -> ChainReach:
+        """All-targets chain reachability from ``source``.
+
+        ``causal=True`` restricts to causal chains (each delivery precedes
+        the next send in process order); ``causal=False`` allows full
+        zigzag continuations.  ``exact_start=True`` requires the first
+        message to be sent exactly in ``I(source.pid, source.index)``
+        (the paper's literal "chain from C(i,x)"); the default relaxes to
+        interval >= index, which is the trackability-relevant notion.
+        """
+        self._check_source(source)
+        history = self._history
+        n = history.num_processes
+        result: Dict[int, float] = {p: math.inf for p in range(n)}
+        # expanded[p]: lowest send-seq threshold already expanded at p.
+        expanded: Dict[int, float] = {}
+
+        start_thr = self._threshold_for_interval(source.pid, source.index)
+        if exact_start:
+            first = [
+                m
+                for m in self._sends_between(source.pid, start_thr, math.inf)
+                if history.send_interval(m) == source.index
+            ]
+        else:
+            first = list(self._sends_between(source.pid, start_thr, math.inf))
+            expanded[source.pid] = start_thr
+
+        stack: List[Tuple[int, float]] = []
+
+        def absorb(m: Message) -> None:
+            deliver_ev = history.deliver_event(m)
+            assert deliver_ev is not None
+            d_interval = history.interval_of(deliver_ev)
+            if d_interval < result[m.dst]:
+                result[m.dst] = d_interval
+            if causal:
+                thr: float = deliver_ev.seq
+            else:
+                thr = self._threshold_for_interval(m.dst, d_interval)
+            stack.append((m.dst, thr))
+
+        for m in first:
+            absorb(m)
+
+        while stack:
+            pid, thr = stack.pop()
+            prev = expanded.get(pid, math.inf)
+            if thr >= prev:
+                continue
+            expanded[pid] = thr
+            for m in self._sends_between(pid, int(thr), prev):
+                absorb(m)
+
+        return ChainReach(source, result)
+
+    # ------------------------------------------------------------------
+    # pairwise queries
+    # ------------------------------------------------------------------
+    def chain_exists(
+        self,
+        a: CheckpointId,
+        b: CheckpointId,
+        causal: bool,
+        exact: bool = True,
+    ) -> bool:
+        """Is there a chain from ``a`` to ``b``?
+
+        ``exact=True`` uses the paper's literal endpoints (first send in
+        ``I(a)``, last delivery in ``I(b)``); ``exact=False`` relaxes both
+        (send interval >= a.index, delivery interval <= b.index).
+        """
+        if exact:
+            return self._exists_exact_end(a, b, causal)
+        return self.reach(a, causal=causal, exact_start=False).reaches(b)
+
+    def _exists_exact_end(self, a: CheckpointId, b: CheckpointId, causal: bool) -> bool:
+        """Chain with exact endpoints via forward search on messages."""
+        history = self._history
+        found = False
+        for chain_end in self._iter_reachable_messages(a, causal):
+            deliver_ev = history.deliver_event(chain_end)
+            assert deliver_ev is not None
+            if (
+                chain_end.dst == b.pid
+                and history.interval_of(deliver_ev) == b.index
+            ):
+                found = True
+                break
+        return found
+
+    def _iter_reachable_messages(
+        self, source: CheckpointId, causal: bool
+    ) -> Iterator[Message]:
+        """Every message that can end a chain from ``source`` (exact start)."""
+        history = self._history
+        start_thr = self._threshold_for_interval(source.pid, source.index)
+        first = [
+            m
+            for m in self._sends_between(source.pid, start_thr, math.inf)
+            if history.send_interval(m) == source.index
+        ]
+        expanded: Dict[int, float] = {}
+        stack: List[Tuple[int, float]] = []
+        seen_msgs = set()
+
+        def absorb(m: Message) -> Iterator[Message]:
+            if m.msg_id in seen_msgs:
+                return
+            seen_msgs.add(m.msg_id)
+            yield m
+            deliver_ev = history.deliver_event(m)
+            assert deliver_ev is not None
+            if causal:
+                thr: float = deliver_ev.seq
+            else:
+                thr = self._threshold_for_interval(
+                    m.dst, history.interval_of(deliver_ev)
+                )
+            stack.append((m.dst, thr))
+
+        for m in first:
+            yield from absorb(m)
+        while stack:
+            pid, thr = stack.pop()
+            prev = expanded.get(pid, math.inf)
+            if thr >= prev:
+                continue
+            expanded[pid] = thr
+            for m in self._sends_between(pid, int(thr), prev):
+                yield from absorb(m)
+
+    # ------------------------------------------------------------------
+    # chain classification and explicit enumeration
+    # ------------------------------------------------------------------
+    def is_chain(self, msg_ids: Sequence[MessageId]) -> bool:
+        """Is the given message sequence a valid message chain?"""
+        history = self._history
+        if not msg_ids:
+            return False
+        msgs = [history.message(mid) for mid in msg_ids]
+        if any(not m.delivered for m in msgs):
+            return False
+        for prev, nxt in zip(msgs, msgs[1:]):
+            if prev.dst != nxt.src:
+                return False
+            deliver_ev = history.deliver_event(prev)
+            assert deliver_ev is not None
+            if history.interval_of(deliver_ev) > history.send_interval(nxt):
+                return False
+        return True
+
+    def is_causal_chain(self, msg_ids: Sequence[MessageId]) -> bool:
+        """Valid chain whose every junction is delivery-before-send."""
+        history = self._history
+        if not self.is_chain(msg_ids):
+            return False
+        msgs = [history.message(mid) for mid in msg_ids]
+        for prev, nxt in zip(msgs, msgs[1:]):
+            deliver_ev = history.deliver_event(prev)
+            assert deliver_ev is not None
+            if deliver_ev.seq >= nxt.send_seq:
+                return False
+        return True
+
+    def is_simple_chain(self, msg_ids: Sequence[MessageId]) -> bool:
+        """Causal chain whose junctions stay within one interval."""
+        history = self._history
+        if not self.is_causal_chain(msg_ids):
+            return False
+        msgs = [history.message(mid) for mid in msg_ids]
+        for prev, nxt in zip(msgs, msgs[1:]):
+            deliver_ev = history.deliver_event(prev)
+            assert deliver_ev is not None
+            if history.interval_of(deliver_ev) != history.send_interval(nxt):
+                return False
+        return True
+
+    def chain_endpoints(
+        self, msg_ids: Sequence[MessageId]
+    ) -> Tuple[CheckpointId, CheckpointId]:
+        """The pair ``(from C(i,x), to C(j,y))`` of a valid chain."""
+        if not self.is_chain(msg_ids):
+            raise PatternError(f"{list(msg_ids)} is not a message chain")
+        history = self._history
+        first = history.message(msg_ids[0])
+        last = history.message(msg_ids[-1])
+        deliver_ev = history.deliver_event(last)
+        assert deliver_ev is not None
+        return (
+            CheckpointId(first.src, history.send_interval(first)),
+            CheckpointId(last.dst, history.interval_of(deliver_ev)),
+        )
+
+    def enumerate_chains(
+        self,
+        a: CheckpointId,
+        b: CheckpointId,
+        causal: Optional[bool] = None,
+        max_len: int = 4,
+    ) -> List[List[MessageId]]:
+        """All chains from ``a`` to ``b`` (exact endpoints) up to a length.
+
+        ``causal=None`` returns all chains; True/False filters to causal /
+        non-causal ones.  Exponential in ``max_len``: intended for tests
+        and small pedagogical patterns.
+        """
+        history = self._history
+        out: List[List[MessageId]] = []
+
+        def extend(chain: List[MessageId]) -> None:
+            last = history.message(chain[-1])
+            deliver_ev = history.deliver_event(last)
+            assert deliver_ev is not None
+            d_interval = history.interval_of(deliver_ev)
+            if last.dst == b.pid and d_interval == b.index:
+                if (
+                    causal is None
+                    or self.is_causal_chain(chain) == causal
+                ):
+                    out.append(list(chain))
+            if len(chain) >= max_len:
+                return
+            thr = self._threshold_for_interval(last.dst, d_interval)
+            for nxt in self._sends_between(last.dst, thr, math.inf):
+                chain.append(nxt.msg_id)
+                extend(chain)
+                chain.pop()
+
+        start_thr = self._threshold_for_interval(a.pid, a.index)
+        for first in self._sends_between(a.pid, start_thr, math.inf):
+            if history.send_interval(first) != a.index:
+                continue
+            chain = [first.msg_id]
+            extend(chain)
+        return out
+
+    def causal_siblings(self, msg_ids: Sequence[MessageId], max_len: int = 4):
+        """Causal chains with the same endpoints as the given chain."""
+        a, b = self.chain_endpoints(msg_ids)
+        return [
+            c
+            for c in self.enumerate_chains(a, b, causal=True, max_len=max_len)
+            if list(c) != list(msg_ids)
+        ]
+
+    # ------------------------------------------------------------------
+    # witness extraction
+    # ------------------------------------------------------------------
+    def witness_chain(
+        self,
+        a: CheckpointId,
+        b: CheckpointId,
+        causal: bool,
+        exact_start: bool = False,
+    ) -> Optional[List[MessageId]]:
+        """An explicit chain from ``a`` reaching ``b`` (relaxed target).
+
+        Returns a concrete message-id list witnessing
+        ``reach(a, causal).reaches(b)``, or ``None`` when no chain
+        exists.  The witness is minimal in BFS-hop count, not unique.
+        Used to *explain* analysis verdicts: RDT violations, Z-cycles,
+        zigzag relations.
+        """
+        self._check_source(a)
+        history = self._history
+        start_thr = self._threshold_for_interval(a.pid, a.index)
+        parent: Dict[MessageId, Optional[MessageId]] = {}
+        frontier: List[MessageId] = []
+        for m in self._sends_between(a.pid, start_thr, math.inf):
+            if exact_start and history.send_interval(m) != a.index:
+                continue
+            parent[m.msg_id] = None
+            frontier.append(m.msg_id)
+
+        def reaches_target(mid: MessageId) -> bool:
+            m = history.message(mid)
+            deliver_ev = history.deliver_event(m)
+            assert deliver_ev is not None
+            return m.dst == b.pid and history.interval_of(deliver_ev) <= b.index
+
+        def assemble(mid: MessageId) -> List[MessageId]:
+            chain: List[MessageId] = []
+            cursor: Optional[MessageId] = mid
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = parent[cursor]
+            chain.reverse()
+            return chain
+
+        while frontier:
+            nxt: List[MessageId] = []
+            for mid in frontier:
+                if reaches_target(mid):
+                    return assemble(mid)
+                m = history.message(mid)
+                deliver_ev = history.deliver_event(m)
+                assert deliver_ev is not None
+                if causal:
+                    thr: float = deliver_ev.seq
+                else:
+                    thr = self._threshold_for_interval(
+                        m.dst, history.interval_of(deliver_ev)
+                    )
+                if thr == math.inf:
+                    continue
+                for cont in self._sends_between(m.dst, int(thr), math.inf):
+                    if cont.msg_id not in parent:
+                        parent[cont.msg_id] = mid
+                        nxt.append(cont.msg_id)
+            frontier = nxt
+        return None

@@ -1,0 +1,20 @@
+"""Experiment harness: comparisons, sweeps and table rendering."""
+
+from repro.harness.experiment import (
+    ComparisonResult,
+    ProtocolAggregate,
+    compare_protocols,
+)
+from repro.harness.sweep import SweepResult, ratio_sweep
+from repro.harness.tables import render_ascii_plot, render_series, render_table
+
+__all__ = [
+    "ComparisonResult",
+    "ProtocolAggregate",
+    "SweepResult",
+    "compare_protocols",
+    "ratio_sweep",
+    "render_ascii_plot",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,82 @@
+"""Parameter sweeps: regenerate a figure as a family of comparisons.
+
+A figure in the paper is R (per protocol) as a function of one swept
+parameter in one environment.  :func:`ratio_sweep` runs
+:func:`repro.harness.experiment.compare_protocols` at every x and
+collects the R series per protocol, ready for
+:func:`repro.harness.tables.render_series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import ComparisonResult, compare_protocols
+from repro.sim import SimulationConfig
+from repro.workloads.base import Workload
+
+#: A scenario factory: x -> (workload factory, config).
+ScenarioAt = Callable[[object], Tuple[Callable[[], Workload], SimulationConfig]]
+
+
+@dataclass
+class SweepResult:
+    """R (and raw forced counts) as a function of the swept parameter."""
+
+    x_label: str
+    xs: List[object]
+    comparisons: List[ComparisonResult]
+    baseline: str
+
+    def ratio_series(self) -> Dict[str, List[Optional[float]]]:
+        protocols = [agg.protocol for agg in self.comparisons[0].protocols]
+        return {
+            name: [comp.ratio(name) for comp in self.comparisons]
+            for name in protocols
+            if name != self.baseline
+        }
+
+    def forced_series(self) -> Dict[str, List[int]]:
+        protocols = [agg.protocol for agg in self.comparisons[0].protocols]
+        return {
+            name: [comp.aggregate(name).forced_total for comp in self.comparisons]
+            for name in protocols
+        }
+
+    def min_ratio(self, protocol: str) -> Optional[float]:
+        values = [r for r in self.ratio_series().get(protocol, []) if r is not None]
+        return min(values) if values else None
+
+    def max_ratio(self, protocol: str) -> Optional[float]:
+        values = [r for r in self.ratio_series().get(protocol, []) if r is not None]
+        return max(values) if values else None
+
+
+def ratio_sweep(
+    x_label: str,
+    xs: Sequence[object],
+    scenario_at: ScenarioAt,
+    protocols: Sequence[str],
+    baseline: str = "fdas",
+    seeds: Sequence[int] = (0, 1, 2),
+    verify_rdt: bool = False,
+) -> SweepResult:
+    """Run the comparison at every swept value."""
+    comparisons = []
+    for x in xs:
+        make_workload, config = scenario_at(x)
+        comparisons.append(
+            compare_protocols(
+                make_workload,
+                config,
+                protocols,
+                baseline=baseline,
+                seeds=seeds,
+                scenario=f"{x_label}={x}",
+                verify_rdt=verify_rdt,
+            )
+        )
+    return SweepResult(
+        x_label=x_label, xs=list(xs), comparisons=comparisons, baseline=baseline
+    )

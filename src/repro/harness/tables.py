@@ -1,0 +1,84 @@
+"""Plain-text rendering of result tables and figure-like series.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[List[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[k]) for line in cells))
+        for k, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.ljust(widths[k]) for k, col in enumerate(columns))
+    out.append(header)
+    out.append("-" * len(header))
+    for line in cells:
+        out.append("  ".join(line[k].ljust(widths[k]) for k in range(len(columns))))
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render one-figure-worth of series as a table: one row per x."""
+    rows = []
+    for k, x in enumerate(xs):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[k]
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def render_ascii_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 60,
+    y_min: float = 0.0,
+    y_max: float = 1.05,
+    title: Optional[str] = None,
+) -> str:
+    """A rough horizontal-bar rendition of a figure (one block per series
+    point), handy for eyeballing ratio curves in terminal output."""
+    out = []
+    if title:
+        out.append(title)
+    for name, values in series.items():
+        out.append(f"[{name}]")
+        for x, v in zip(xs, values):
+            if v is None:
+                out.append(f"  {x!s:>8}  (n/a)")
+                continue
+            clamped = min(max(v, y_min), y_max)
+            bar = "#" * int(round((clamped - y_min) / (y_max - y_min) * width))
+            out.append(f"  {x!s:>8}  {bar} {v:.3f}")
+    return "\n".join(out)

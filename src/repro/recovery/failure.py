@@ -1,0 +1,71 @@
+"""Crash specifications for rollback-recovery analyses.
+
+The model is fail-stop (paper section 2.1): a crashed process loses its
+volatile state and restarts from a stable local checkpoint.  A
+:class:`CrashSpec` names, per crashed process, the last checkpoint that
+survived on stable storage (by default the last one taken before the
+crash instant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.events.history import History
+from repro.types import CheckpointId, PatternError, ProcessId
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One process crash.
+
+    ``at_time=None`` means "crash at the very end of the history".  The
+    crash wipes any events after the last checkpoint taken at or before
+    ``at_time``; that checkpoint is the process's restart candidate.
+
+    FINAL checkpoints (the virtual ones appended by ``History.closed()``
+    to delimit open intervals) are *not* restart candidates: they stand
+    for volatile end-of-run state that a crash destroys.  Surviving
+    processes, by contrast, keep their volatile state and may stay at
+    them.
+    """
+
+    pid: ProcessId
+    at_time: Optional[float] = None
+
+    def restart_checkpoint(self, history: History) -> CheckpointId:
+        """Last stable checkpoint available to the crashed process."""
+        from repro.events.event import CheckpointKind
+
+        candidates = [
+            ev
+            for ev in history.checkpoints(self.pid)
+            if ev.checkpoint_kind is not CheckpointKind.FINAL
+            and (self.at_time is None or ev.time <= self.at_time)
+        ]
+        if not candidates:
+            raise PatternError(
+                f"process {self.pid} has no checkpoint before time {self.at_time}"
+            )
+        last = candidates[-1]
+        assert last.checkpoint_index is not None
+        return CheckpointId(self.pid, last.checkpoint_index)
+
+
+def restart_bounds(
+    history: History, crashes: Dict[ProcessId, CrashSpec]
+) -> Dict[ProcessId, int]:
+    """Upper bound on the checkpoint index each process may restart from.
+
+    Crashed processes are bounded by their last stable checkpoint;
+    surviving processes may roll back to any of their checkpoints (they
+    are bounded by their last taken checkpoint).
+    """
+    bounds: Dict[ProcessId, int] = {}
+    for pid in range(history.num_processes):
+        if pid in crashes:
+            bounds[pid] = crashes[pid].restart_checkpoint(history).index
+        else:
+            bounds[pid] = history.last_index(pid)
+    return bounds

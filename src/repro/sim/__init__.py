@@ -1,0 +1,30 @@
+"""Discrete-event simulation testbed: kernel, traces, replay, façade."""
+
+from repro.sim.channel import ChannelMap
+from repro.sim.delays import Constant, DelayModel, Exponential, LogNormal, Uniform
+from repro.sim.generate import TraceGenerator, generate_trace
+from repro.sim.kernel import Scheduler
+from repro.sim.replay import ReplayResult, replay, replay_many
+from repro.sim.simulation import Simulation, SimulationConfig, run_scenario
+from repro.sim.trace import Trace, TraceOp, TraceOpKind
+
+__all__ = [
+    "ChannelMap",
+    "Constant",
+    "DelayModel",
+    "Exponential",
+    "LogNormal",
+    "ReplayResult",
+    "Scheduler",
+    "Simulation",
+    "SimulationConfig",
+    "Trace",
+    "TraceGenerator",
+    "TraceOp",
+    "TraceOpKind",
+    "Uniform",
+    "generate_trace",
+    "replay",
+    "replay_many",
+    "run_scenario",
+]

@@ -1,0 +1,65 @@
+"""Channel delay and inter-event time distributions.
+
+All distributions draw from a caller-supplied ``random.Random`` so that
+runs are reproducible from a single seed.  Delays are strictly positive
+(clamped away from zero) because the model's channels have non-zero but
+finite, unpredictable transmission delays.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass
+
+_MIN_DELAY = 1e-9
+
+
+class DelayModel(abc.ABC):
+    """A positive random variable."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value (always > 0)."""
+
+    def _clamp(self, value: float) -> float:
+        return max(value, _MIN_DELAY)
+
+
+@dataclass(frozen=True)
+class Constant(DelayModel):
+    value: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self._clamp(self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(DelayModel):
+    low: float = 0.5
+    high: float = 1.5
+
+    def sample(self, rng: random.Random) -> float:
+        return self._clamp(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class Exponential(DelayModel):
+    """Exponential with the given mean (not rate)."""
+
+    mean: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self._clamp(rng.expovariate(1.0 / self.mean))
+
+
+@dataclass(frozen=True)
+class LogNormal(DelayModel):
+    """Heavy-tailed delays; ``median`` and ``sigma`` parameterisation."""
+
+    median: float = 1.0
+    sigma: float = 0.5
+
+    def sample(self, rng: random.Random) -> float:
+        return self._clamp(rng.lognormvariate(math.log(self.median), self.sigma))

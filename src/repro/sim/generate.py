@@ -1,0 +1,184 @@
+"""Trace generation: run a workload on the kernel, record the pattern.
+
+This is phase one of every simulation: the workload's sends, the
+channels' delivery times and the basic-checkpoint timers are resolved
+into a protocol-independent :class:`repro.sim.trace.Trace`.  Phase two
+(:mod:`repro.sim.replay`) folds any protocol over the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.sim.channel import ChannelMap
+from repro.sim.kernel import Scheduler
+from repro.sim.trace import Trace, TraceOp, TraceOpKind
+from repro.types import MessageId, ProcessId, SimulationError
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class _GeneratorContext(WorkloadContext):
+    """The concrete WorkloadContext used during generation."""
+
+    def __init__(self, generator: "TraceGenerator") -> None:
+        self._g = generator
+        self.n = generator.n
+        self.rng = generator.rng
+
+    @property
+    def now(self) -> float:
+        return self._g.scheduler.now
+
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        size: int = 1,
+        payload: Any = None,
+    ) -> MessageId:
+        return self._g.record_send(src, dst, size, payload)
+
+    def set_timer(self, pid: ProcessId, delay: float, tag: Hashable = None) -> None:
+        self._g.scheduler.schedule(
+            delay, lambda: self._g.fire_timer(pid, tag)
+        )
+
+    def payload_of(self, msg_id: MessageId) -> Any:
+        return self._g.payloads.get(msg_id)
+
+    def stop(self) -> None:
+        self._g.stopped = True
+
+
+class TraceGenerator:
+    """Generates one trace from one workload.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    workload:
+        The application behaviour.
+    duration:
+        Simulated time horizon; sends stop at the horizon, deliveries of
+        already-sent messages still land (channels are reliable).
+    seed:
+        Master seed (one RNG drives workload choices, delays and basic
+        checkpoint timers deterministically).
+    basic_rate:
+        Mean number of *basic* checkpoints per process per time unit
+        (exponential inter-checkpoint times); 0 disables basic
+        checkpoints.
+    channels:
+        Delay/FIFO behaviour; defaults to non-FIFO exponential(1).
+    max_events:
+        Safety valve for runaway workloads.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        workload: Workload,
+        duration: float = 100.0,
+        seed: int = 0,
+        basic_rate: float = 0.1,
+        channels: Optional[ChannelMap] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        if n <= 0:
+            raise SimulationError("need at least one process")
+        self.n = n
+        self.workload = workload
+        self.duration = duration
+        self.rng = random.Random(seed)
+        self.basic_rate = basic_rate
+        self.channels = channels if channels is not None else ChannelMap(n)
+        self.max_events = max_events
+        self.scheduler = Scheduler()
+        self.ops: List[TraceOp] = []
+        self.payloads: Dict[MessageId, Any] = {}
+        self.stopped = False
+        self._next_msg = 0
+        self._ctx = _GeneratorContext(self)
+
+    # ------------------------------------------------------------------
+    # recording callbacks
+    # ------------------------------------------------------------------
+    def record_send(
+        self, src: ProcessId, dst: ProcessId, size: int, payload: Any
+    ) -> MessageId:
+        if not (0 <= src < self.n and 0 <= dst < self.n) or src == dst:
+            raise SimulationError(f"bad send {src}->{dst}")
+        if self.stopped or self.scheduler.now > self.duration:
+            # Horizon reached: drop silently (workload is winding down).
+            return -1
+        msg_id = self._next_msg
+        self._next_msg += 1
+        now = self.scheduler.now
+        self.ops.append(
+            TraceOp(now, TraceOpKind.SEND, src, peer=dst, msg_id=msg_id, size=size)
+        )
+        self.payloads[msg_id] = payload
+        arrival = self.channels.arrival_time(src, dst, now, self.rng)
+        self.scheduler.schedule_at(
+            arrival, lambda: self._arrive(msg_id, src, dst)
+        )
+        return msg_id
+
+    def _arrive(self, msg_id: MessageId, src: ProcessId, dst: ProcessId) -> None:
+        self.ops.append(
+            TraceOp(
+                self.scheduler.now, TraceOpKind.DELIVER, dst, peer=src, msg_id=msg_id
+            )
+        )
+        if not self.stopped:
+            self.workload.on_deliver(self._ctx, dst, src, msg_id)
+
+    def fire_timer(self, pid: ProcessId, tag: Hashable) -> None:
+        if self.stopped or self.scheduler.now > self.duration:
+            return
+        self.workload.on_timer(self._ctx, pid, tag)
+
+    def _basic_checkpoint(self, pid: ProcessId) -> None:
+        if self.stopped or self.scheduler.now > self.duration:
+            return
+        self.ops.append(
+            TraceOp(self.scheduler.now, TraceOpKind.BASIC_CHECKPOINT, pid)
+        )
+        self._schedule_basic(pid)
+
+    def _schedule_basic(self, pid: ProcessId) -> None:
+        delay = self.rng.expovariate(self.basic_rate)
+        self.scheduler.schedule(delay, lambda: self._basic_checkpoint(pid))
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Trace:
+        """Run the workload and return the recorded trace."""
+        if self.basic_rate > 0:
+            for pid in range(self.n):
+                self._schedule_basic(pid)
+        self.workload.on_start(self._ctx)
+        # Run past the horizon so in-flight messages land; timers and
+        # checkpoints self-censor beyond the horizon.
+        self.scheduler.run(max_events=self.max_events)
+        return Trace(self.n, [op for op in self.ops if op.msg_id != -1])
+
+
+def generate_trace(
+    n: int,
+    workload: Workload,
+    duration: float = 100.0,
+    seed: int = 0,
+    basic_rate: float = 0.1,
+    channels: Optional[ChannelMap] = None,
+) -> Trace:
+    """One-call convenience wrapper around :class:`TraceGenerator`."""
+    return TraceGenerator(
+        n,
+        workload,
+        duration=duration,
+        seed=seed,
+        basic_rate=basic_rate,
+        channels=channels,
+    ).generate()

@@ -1,0 +1,72 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+Plain priority-queue scheduling: callbacks fire in ``(time, seq)`` order
+where ``seq`` is a global insertion counter, so simultaneous events run
+in scheduling order and every run is a pure function of its inputs (all
+randomness comes from the caller's seeded RNG).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.types import SimulationError
+
+
+class Scheduler:
+    """The event queue of one simulation."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the final simulation time."""
+        if self._running:
+            raise SimulationError("scheduler is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        return len(self._queue)

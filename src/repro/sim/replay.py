@@ -1,0 +1,197 @@
+"""Replaying a trace under a checkpointing protocol.
+
+Folds one protocol family (one instance per process) over a
+protocol-independent trace, producing the recorded
+:class:`repro.events.history.History` -- sends and deliveries verbatim,
+basic checkpoints verbatim, plus the protocol's forced checkpoints
+inserted immediately before the deliveries (or after the sends, for
+checkpoint-after-send protocols) that triggered them.
+
+Because the trace is shared, replaying it under several protocols is the
+exact analogue of the paper's simulation study: identical communication
+pattern, identical basic checkpoints, only the forced checkpoints
+differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.analysis.metrics import RunMetrics, metrics_from_history
+from repro.core.piggyback import Piggyback
+from repro.core.protocol import CheckpointProtocol, ProtocolFamily
+from repro.events.event import CheckpointKind, Event, EventKind, Message
+from repro.events.history import History
+from repro.events.validate import validate_history
+from repro.sim.trace import Trace, TraceOp, TraceOpKind
+from repro.types import MessageId, ProcessId, SimulationError
+
+#: Minimal spacing between consecutive events of one process; trace op
+#: times are macroscopic (O(0.01+)) so nudges never reorder anything.
+_EPS = 1e-9
+
+
+class _Recorder:
+    """Accumulates per-process event lists with strictly increasing times."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.events: List[List[Event]] = [[] for _ in range(n)]
+        self.messages: Dict[MessageId, Message] = {}
+        self._ckpt_index = [0] * n
+        self._last_time = [-1.0] * n
+        for pid in range(n):
+            self.checkpoint(pid, 0.0, CheckpointKind.INITIAL)
+
+    def _time_for(self, pid: ProcessId, requested: float) -> float:
+        time = max(requested, self._last_time[pid] + _EPS)
+        self._last_time[pid] = time
+        return time
+
+    def _append(self, pid: ProcessId, kind: EventKind, time: float, **fields) -> Event:
+        ev = Event(
+            pid=pid,
+            seq=len(self.events[pid]),
+            kind=kind,
+            time=self._time_for(pid, time),
+            **fields,
+        )
+        self.events[pid].append(ev)
+        return ev
+
+    def checkpoint(
+        self, pid: ProcessId, time: float, kind: CheckpointKind
+    ) -> Event:
+        if kind is CheckpointKind.INITIAL:
+            index = 0
+        else:
+            self._ckpt_index[pid] += 1
+            index = self._ckpt_index[pid]
+        return self._append(
+            pid,
+            EventKind.CHECKPOINT,
+            time,
+            checkpoint_index=index,
+            checkpoint_kind=kind,
+        )
+
+    def send(self, op: TraceOp) -> Event:
+        assert op.msg_id is not None and op.peer is not None
+        ev = self._append(op.pid, EventKind.SEND, op.time, msg_id=op.msg_id)
+        self.messages[op.msg_id] = Message(
+            msg_id=op.msg_id,
+            src=op.pid,
+            dst=op.peer,
+            send_seq=ev.seq,
+            size=op.size,
+        )
+        return ev
+
+    def deliver(self, op: TraceOp) -> Event:
+        assert op.msg_id is not None
+        m = self.messages[op.msg_id]
+        ev = self._append(op.pid, EventKind.DELIVER, op.time, msg_id=op.msg_id)
+        self.messages[op.msg_id] = Message(
+            msg_id=m.msg_id,
+            src=m.src,
+            dst=m.dst,
+            send_seq=m.send_seq,
+            deliver_seq=ev.seq,
+            size=m.size,
+        )
+        return ev
+
+    def build(self, close: bool) -> History:
+        history = History(self.events, self.messages)
+        if close:
+            history = history.closed()
+        validate_history(history)
+        return history
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one protocol replay."""
+
+    protocol_name: str
+    history: History
+    family: ProtocolFamily
+    metrics: RunMetrics
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplayResult {self.protocol_name}: "
+            f"forced={self.metrics.forced_checkpoints} "
+            f"basic={self.metrics.basic_checkpoints}>"
+        )
+
+
+def replay(
+    trace: Trace,
+    protocol_factory: Callable[[ProcessId, int], CheckpointProtocol],
+    close: bool = True,
+) -> ReplayResult:
+    """Replay ``trace`` under the protocol built by ``protocol_factory``.
+
+    The driver honours the contract documented on
+    :class:`repro.core.protocol.CheckpointProtocol`.
+    """
+    family = ProtocolFamily(protocol_factory, trace.n)
+    recorder = _Recorder(trace.n)
+    piggybacks: Dict[MessageId, Piggyback] = {}
+    for op in trace:
+        proto = family[op.pid]
+        if op.kind is TraceOpKind.SEND:
+            assert op.msg_id is not None
+            piggybacks[op.msg_id] = proto.on_send(op.peer)
+            recorder.send(op)
+            if proto.wants_checkpoint_after_send():
+                recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
+                proto.on_checkpoint(forced=True)
+        elif op.kind is TraceOpKind.DELIVER:
+            assert op.msg_id is not None and op.peer is not None
+            pb = piggybacks[op.msg_id]
+            if proto.wants_forced_checkpoint(pb, op.peer):
+                recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
+                proto.on_checkpoint(forced=True)
+            proto.on_receive(pb, op.peer)
+            recorder.deliver(op)
+        elif op.kind is TraceOpKind.BASIC_CHECKPOINT:
+            recorder.checkpoint(op.pid, op.time, CheckpointKind.BASIC)
+            proto.on_checkpoint(forced=False)
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown op {op!r}")
+    history = recorder.build(close)
+    name = family.name
+    metrics = metrics_from_history(
+        history,
+        protocol=name,
+        piggyback_bits_total=family.total_piggyback_bits(),
+    )
+    _cross_check_forced(metrics, family)
+    return ReplayResult(
+        protocol_name=name, history=history, family=family, metrics=metrics
+    )
+
+
+def _cross_check_forced(metrics: RunMetrics, family: ProtocolFamily) -> None:
+    """The history's FORCED count must equal the protocols' own count."""
+    if metrics.forced_checkpoints != family.total_forced():
+        raise SimulationError(
+            "internal inconsistency: history records "
+            f"{metrics.forced_checkpoints} forced checkpoints, protocols "
+            f"counted {family.total_forced()}"
+        )
+
+
+def replay_many(
+    trace: Trace,
+    factories: Dict[str, Callable[[ProcessId, int], CheckpointProtocol]],
+    close: bool = True,
+) -> Dict[str, ReplayResult]:
+    """Replay one trace under several protocols (the comparison setup)."""
+    return {
+        name: replay(trace, factory, close=close)
+        for name, factory in factories.items()
+    }

@@ -1,0 +1,113 @@
+"""High-level simulation façade.
+
+:class:`Simulation` wires a workload, a channel model and a basic
+checkpoint rate into a reusable, seeded scenario: generate the trace
+once, replay it under any number of protocols, and get recorded
+histories plus metrics back.  This is the entry point that the
+examples, the benchmarks and most tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.registry import protocol_factory
+from repro.sim.channel import ChannelMap
+from repro.sim.delays import DelayModel, Exponential
+from repro.sim.generate import TraceGenerator
+from repro.sim.replay import ReplayResult, replay
+from repro.sim.trace import Trace
+from repro.types import SimulationError
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that defines a scenario (all defaults are sensible).
+
+    Attributes
+    ----------
+    n:
+        Number of processes.
+    duration:
+        Simulated time horizon.
+    seed:
+        Master seed; two runs with equal config are identical.
+    basic_rate:
+        Mean basic checkpoints per process per time unit (the paper's
+        simulation knob: how often applications checkpoint on their own).
+    delay:
+        Channel delay distribution.
+    fifo:
+        Whether channels preserve order (CIC protocols do not need it).
+    max_events:
+        Kernel safety valve.
+    """
+
+    n: int = 4
+    duration: float = 100.0
+    seed: int = 0
+    basic_rate: float = 0.1
+    delay: DelayModel = field(default_factory=lambda: Exponential(mean=1.0))
+    fifo: bool = False
+    max_events: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise SimulationError("n must be positive")
+        if self.duration <= 0:
+            raise SimulationError("duration must be positive")
+        if self.basic_rate < 0:
+            raise SimulationError("basic_rate must be non-negative")
+
+
+class Simulation:
+    """One seeded scenario: a workload under a configuration."""
+
+    def __init__(self, workload: Workload, config: Optional[SimulationConfig] = None):
+        self.workload = workload
+        self.config = config if config is not None else SimulationConfig()
+        self._trace: Optional[Trace] = None
+
+    @property
+    def trace(self) -> Trace:
+        """The protocol-independent trace (generated lazily, cached)."""
+        if self._trace is None:
+            cfg = self.config
+            generator = TraceGenerator(
+                cfg.n,
+                self.workload,
+                duration=cfg.duration,
+                seed=cfg.seed,
+                basic_rate=cfg.basic_rate,
+                channels=ChannelMap(cfg.n, delay=cfg.delay, fifo=cfg.fifo),
+                max_events=cfg.max_events,
+            )
+            self._trace = generator.generate()
+        return self._trace
+
+    def run(self, protocol: str, close: bool = True) -> ReplayResult:
+        """Replay the scenario under one protocol (registry name)."""
+        return replay(self.trace, protocol_factory(protocol), close=close)
+
+    def run_factory(self, factory, close: bool = True) -> ReplayResult:
+        """Replay under a protocol given as a ``(pid, n) -> protocol``
+        factory (for classes not in the registry, e.g. user protocols
+        under conformance testing or parameterised variants)."""
+        return replay(self.trace, factory, close=close)
+
+    def compare(
+        self, protocols: List[str], close: bool = True
+    ) -> Dict[str, ReplayResult]:
+        """Replay the same trace under several protocols."""
+        return {name: self.run(name, close=close) for name in protocols}
+
+
+def run_scenario(
+    workload: Workload,
+    protocol: str,
+    config: Optional[SimulationConfig] = None,
+) -> ReplayResult:
+    """One-call convenience: build, generate, replay."""
+    return Simulation(workload, config).run(protocol)

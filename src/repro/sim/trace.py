@@ -1,0 +1,111 @@
+"""Protocol-independent communication traces.
+
+A key fact about communication-induced checkpointing: the protocol never
+blocks, reorders or generates messages -- it only inserts forced
+checkpoints.  Hence the *communication pattern* (sends, deliveries,
+basic checkpoints) of a run is protocol-independent, and the fair way to
+compare protocols (as the paper's simulation study does) is to generate
+that pattern once and replay it under each protocol.
+
+A :class:`Trace` is exactly this pattern: a time-ordered list of
+:class:`TraceOp`.  :mod:`repro.sim.generate` produces traces from
+workloads; :mod:`repro.sim.replay` folds a protocol over them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.types import MessageId, ProcessId, SimulationError
+
+
+class TraceOpKind(enum.Enum):
+    SEND = "send"
+    DELIVER = "deliver"
+    BASIC_CHECKPOINT = "basic_checkpoint"
+
+    def __repr__(self) -> str:
+        return f"TraceOpKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation of the protocol-independent pattern.
+
+    For SEND: ``pid`` is the sender, ``peer`` the destination.
+    For DELIVER: ``pid`` is the receiver, ``peer`` the original sender.
+    For BASIC_CHECKPOINT: only ``pid`` is meaningful.
+    """
+
+    time: float
+    kind: TraceOpKind
+    pid: ProcessId
+    peer: Optional[ProcessId] = None
+    msg_id: Optional[MessageId] = None
+    size: int = 1
+
+    def __repr__(self) -> str:
+        if self.kind is TraceOpKind.BASIC_CHECKPOINT:
+            return f"<op ckpt P{self.pid} @{self.time:.3f}>"
+        arrow = (
+            f"P{self.pid}->P{self.peer}"
+            if self.kind is TraceOpKind.SEND
+            else f"P{self.peer}->P{self.pid}"
+        )
+        return f"<op {self.kind.value} m{self.msg_id} {arrow} @{self.time:.3f}>"
+
+
+class Trace:
+    """A validated, time-ordered sequence of trace operations."""
+
+    def __init__(self, n: int, ops: Sequence[TraceOp]) -> None:
+        self.n = n
+        self.ops: List[TraceOp] = sorted(ops, key=lambda op: op.time)
+        self._validate()
+
+    def _validate(self) -> None:
+        sent = {}
+        delivered = set()
+        for op in self.ops:
+            if not 0 <= op.pid < self.n:
+                raise SimulationError(f"bad pid in {op!r}")
+            if op.kind is TraceOpKind.SEND:
+                if op.msg_id in sent:
+                    raise SimulationError(f"message {op.msg_id} sent twice")
+                sent[op.msg_id] = op
+            elif op.kind is TraceOpKind.DELIVER:
+                if op.msg_id not in sent:
+                    raise SimulationError(f"delivery of unsent message {op.msg_id}")
+                if op.msg_id in delivered:
+                    raise SimulationError(f"message {op.msg_id} delivered twice")
+                send_op = sent[op.msg_id]
+                if send_op.time >= op.time:
+                    raise SimulationError(f"message {op.msg_id} delivered instantly")
+                if send_op.peer != op.pid or send_op.pid != op.peer:
+                    raise SimulationError(f"endpoint mismatch for {op.msg_id}")
+                delivered.add(op.msg_id)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def num_messages(self) -> int:
+        return sum(1 for op in self.ops if op.kind is TraceOpKind.SEND)
+
+    def num_deliveries(self) -> int:
+        return sum(1 for op in self.ops if op.kind is TraceOpKind.DELIVER)
+
+    def num_basic_checkpoints(self) -> int:
+        return sum(
+            1 for op in self.ops if op.kind is TraceOpKind.BASIC_CHECKPOINT
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace n={self.n} ops={len(self.ops)} "
+            f"msgs={self.num_messages()} basic={self.num_basic_checkpoints()}>"
+        )

@@ -1,0 +1,23 @@
+"""Deterministic state machines and the recovery replay engine."""
+
+from repro.state.machine import (
+    ProcessStateMachine,
+    StateTrace,
+    replayable_suffix,
+    run_state_machines,
+)
+from repro.state.replay import (
+    ReplayOutcome,
+    execute_recovery,
+    recovery_convergence_report,
+)
+
+__all__ = [
+    "ProcessStateMachine",
+    "ReplayOutcome",
+    "StateTrace",
+    "execute_recovery",
+    "recovery_convergence_report",
+    "replayable_suffix",
+    "run_state_machines",
+]

@@ -1,0 +1,109 @@
+"""Deterministic process state machines over recorded histories.
+
+The pattern calculus of :mod:`repro.analysis` never looks at *state*;
+real rollback-recovery does.  This module gives every process a
+deterministic state (a running digest folded over its events, standing
+in for arbitrary application state under the piecewise-deterministic
+assumption): equal digests == equal states, and replaying the same
+events from the same state reproduces the same digest.
+
+Built on it, :mod:`repro.state.replay` executes an actual recovery --
+restore a checkpointed state, re-apply logged/replayed messages -- and
+*proves* (by digest equality) that the recovered run converges back to
+the original one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.events.event import Event, EventKind
+from repro.events.history import History
+from repro.types import CheckpointId, ProcessId
+
+
+def _fold(digest: str, *parts: object) -> str:
+    h = hashlib.sha256()
+    h.update(digest.encode())
+    for part in parts:
+        h.update(repr(part).encode())
+    return h.hexdigest()
+
+
+class ProcessStateMachine:
+    """One process's deterministic state, folded event by event.
+
+    The digest evolves on every *state-relevant* action: internal steps,
+    sends (content assumed a deterministic function of state) and
+    deliveries (folding the message id and sender -- the only
+    nondeterministic input, which is why delivery order must be logged
+    for replay).  Taking a checkpoint records but does not change state.
+    """
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.digest = _fold("init", pid)
+        self.steps = 0
+
+    def apply(self, event: Event) -> None:
+        if event.kind is EventKind.CHECKPOINT:
+            return  # recording state is not a state change
+        if event.kind is EventKind.DELIVER:
+            self.digest = _fold(self.digest, "recv", event.msg_id)
+        elif event.kind is EventKind.SEND:
+            self.digest = _fold(self.digest, "send", event.msg_id)
+        else:
+            self.digest = _fold(self.digest, "internal")
+        self.steps += 1
+
+    def restore(self, digest: str, steps: int) -> None:
+        self.digest = digest
+        self.steps = steps
+
+    def snapshot(self) -> Tuple[str, int]:
+        return (self.digest, self.steps)
+
+
+@dataclass
+class StateTrace:
+    """Digests of one full run: per checkpoint and at end-of-history."""
+
+    checkpoint_digests: Dict[CheckpointId, Tuple[str, int]]
+    final_digests: Dict[ProcessId, Tuple[str, int]]
+
+    def at(self, cid: CheckpointId) -> Tuple[str, int]:
+        return self.checkpoint_digests[cid]
+
+
+def run_state_machines(history: History) -> StateTrace:
+    """Fold every process's state machine over the recorded history."""
+    machines = [
+        ProcessStateMachine(pid) for pid in range(history.num_processes)
+    ]
+    checkpoint_digests: Dict[CheckpointId, Tuple[str, int]] = {}
+    for pid in range(history.num_processes):
+        machine = machines[pid]
+        for event in history.events(pid):
+            if event.kind is EventKind.CHECKPOINT:
+                assert event.checkpoint_index is not None
+                checkpoint_digests[
+                    CheckpointId(pid, event.checkpoint_index)
+                ] = machine.snapshot()
+            machine.apply(event)
+    return StateTrace(
+        checkpoint_digests=checkpoint_digests,
+        final_digests={m.pid: m.snapshot() for m in machines},
+    )
+
+
+def replayable_suffix(
+    history: History, cut: Dict[ProcessId, int]
+) -> Dict[ProcessId, List[Event]]:
+    """The events each process must re-execute after rolling back to ``cut``."""
+    suffix: Dict[ProcessId, List[Event]] = {}
+    for pid in range(history.num_processes):
+        limit = history.checkpoint_event(CheckpointId(pid, cut[pid])).seq
+        suffix[pid] = [ev for ev in history.events(pid) if ev.seq > limit]
+    return suffix

@@ -1,0 +1,18 @@
+"""Stable-storage modelling: stores, footprints, GC policies."""
+
+from repro.storage.store import (
+    CheckpointRecord,
+    LogRecord,
+    StableStore,
+    StorageError,
+)
+from repro.storage.timeline import StorageReport, simulate_storage
+
+__all__ = [
+    "CheckpointRecord",
+    "LogRecord",
+    "StableStore",
+    "StorageError",
+    "StorageReport",
+    "simulate_storage",
+]

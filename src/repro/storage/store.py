@@ -1,0 +1,100 @@
+"""Stable-storage model: what checkpoints and logs actually cost.
+
+Checkpointing literature measures protocols in forced-checkpoint counts;
+operators measure them in bytes of stable storage.  This module models
+the per-process stable store -- checkpoint records plus the sender
+message log -- with simple, explicit cost parameters, so the garbage
+collection machinery (:mod:`repro.recovery.gc`) can be evaluated in the
+unit that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.types import CheckpointId, MessageId, ProcessId, ReproError
+
+
+class StorageError(ReproError):
+    """Stable-store misuse (double write, unknown discard...)."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    cid: CheckpointId
+    bytes: int
+    written_at: float
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    msg_id: MessageId
+    bytes: int
+    written_at: float
+
+
+class StableStore:
+    """One process's stable storage: checkpoints + sender log."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self._checkpoints: Dict[int, CheckpointRecord] = {}
+        self._log: Dict[MessageId, LogRecord] = {}
+        self.bytes_written = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    def write_checkpoint(self, cid: CheckpointId, size: int, now: float) -> None:
+        if cid.pid != self.pid:
+            raise StorageError(f"{cid} does not belong to P{self.pid}")
+        if cid.index in self._checkpoints:
+            raise StorageError(f"{cid} already on stable storage")
+        self._checkpoints[cid.index] = CheckpointRecord(cid, size, now)
+        self.bytes_written += size
+        self._track_peak()
+
+    def log_message(self, msg_id: MessageId, size: int, now: float) -> None:
+        if msg_id in self._log:
+            raise StorageError(f"message {msg_id} already logged")
+        self._log[msg_id] = LogRecord(msg_id, size, now)
+        self.bytes_written += size
+        self._track_peak()
+
+    def discard_checkpoint(self, index: int) -> int:
+        try:
+            return self._checkpoints.pop(index).bytes
+        except KeyError:
+            raise StorageError(
+                f"P{self.pid} has no checkpoint {index} on stable storage"
+            ) from None
+
+    def discard_log_below(self, interval: int, send_intervals: Dict[MessageId, int]):
+        """Drop logged messages sent in intervals <= ``interval``."""
+        dead = [
+            mid
+            for mid in self._log
+            if send_intervals.get(mid, interval + 1) <= interval
+        ]
+        freed = 0
+        for mid in dead:
+            freed += self._log.pop(mid).bytes
+        return freed
+
+    # ------------------------------------------------------------------
+    def checkpoint_indices(self) -> List[int]:
+        return sorted(self._checkpoints)
+
+    def usage_bytes(self) -> int:
+        return sum(r.bytes for r in self._checkpoints.values()) + sum(
+            r.bytes for r in self._log.values()
+        )
+
+    def _track_peak(self) -> None:
+        self.peak_bytes = max(self.peak_bytes, self.usage_bytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"<StableStore P{self.pid} ckpts={len(self._checkpoints)} "
+            f"log={len(self._log)} bytes={self.usage_bytes()}>"
+        )

@@ -1,0 +1,83 @@
+"""Shared identifiers and exception hierarchy for the ``repro`` package.
+
+The whole library speaks a single small vocabulary, fixed here:
+
+* processes are identified by dense integers ``0 .. n-1``;
+* a local checkpoint is identified by a :class:`CheckpointId` pair
+  ``(pid, index)`` where ``index`` counts checkpoints of that process
+  starting from the initial checkpoint ``C(i, 0)``;
+* checkpoint *interval* ``I(i, x)`` (``x >= 1``) denotes the events of
+  process ``i`` strictly between checkpoints ``x - 1`` and ``x``.  The
+  interval that is open at the end of a computation has index
+  ``last_index + 1``.
+
+These conventions follow the Baldoni-Helary-Mostefaoui-Raynal paper (see
+DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ProcessId = int
+MessageId = int
+IntervalIndex = int
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class PatternError(ReproError):
+    """A checkpoint-and-communication pattern is malformed."""
+
+
+class ProtocolError(ReproError):
+    """A checkpointing protocol was driven incorrectly or misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was configured or driven incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """An analysis algorithm received input it cannot handle."""
+
+
+@dataclass(frozen=True, order=True)
+class CheckpointId:
+    """Identity of a local checkpoint ``C(pid, index)``.
+
+    ``index`` is the per-process checkpoint counter; every process has an
+    initial checkpoint with index 0.  Instances are ordered lexicographically
+    by ``(pid, index)`` which gives a stable, deterministic iteration order
+    for reports.
+    """
+
+    pid: ProcessId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError(f"pid must be non-negative, got {self.pid}")
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+
+    def __repr__(self) -> str:  # C(2,5) reads like the paper's C_{2,5}
+        return f"C({self.pid},{self.index})"
+
+    @property
+    def interval_before(self) -> IntervalIndex:
+        """Index of the checkpoint interval that this checkpoint closes.
+
+        By the paper's convention, interval ``I(i, x)`` is closed by
+        checkpoint ``C(i, x)``; the initial checkpoint closes no interval
+        (its value 0 is still returned for uniformity, but no interval 0
+        contains events).
+        """
+        return self.index
+
+    @property
+    def interval_after(self) -> IntervalIndex:
+        """Index of the checkpoint interval opened by this checkpoint."""
+        return self.index + 1

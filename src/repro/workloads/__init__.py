@@ -1,0 +1,35 @@
+"""Workloads: the application behaviours of the evaluation environments."""
+
+from repro.workloads.base import Workload, WorkloadContext
+from repro.workloads.bsp import BulkSynchronousWorkload
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.client_server import ClientServerWorkload
+from repro.workloads.groups import OverlappingGroupsWorkload
+from repro.workloads.master_worker import MasterWorkerWorkload
+from repro.workloads.random_uniform import RandomUniformWorkload
+from repro.workloads.ring import PipelineWorkload, RingWorkload
+
+WORKLOADS = {
+    "random": RandomUniformWorkload,
+    "bsp": BulkSynchronousWorkload,
+    "groups": OverlappingGroupsWorkload,
+    "client-server": ClientServerWorkload,
+    "ring": RingWorkload,
+    "pipeline": PipelineWorkload,
+    "master-worker": MasterWorkerWorkload,
+    "bursty": BurstyWorkload,
+}
+
+__all__ = [
+    "BulkSynchronousWorkload",
+    "BurstyWorkload",
+    "ClientServerWorkload",
+    "MasterWorkerWorkload",
+    "OverlappingGroupsWorkload",
+    "PipelineWorkload",
+    "RandomUniformWorkload",
+    "RingWorkload",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadContext",
+]

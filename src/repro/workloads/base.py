@@ -1,0 +1,86 @@
+"""Workload interface: application behaviours driving the simulation.
+
+A workload is the *application* whose communication pattern the
+checkpointing protocols instrument.  Workloads are actor-style: they
+react to timers and deliveries by sending messages and arming new
+timers, through the :class:`WorkloadContext` handed to every hook.
+
+Workloads are protocol-agnostic by construction -- they run during trace
+generation, before any protocol is involved (see
+:mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Hashable, Optional
+
+from repro.types import MessageId, ProcessId
+
+
+class WorkloadContext(abc.ABC):
+    """Capabilities a workload may use (implemented by the generator)."""
+
+    n: int
+    rng: random.Random
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulation time."""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        size: int = 1,
+        payload: Any = None,
+    ) -> MessageId:
+        """Send an application message; returns its id.
+
+        ``payload`` is workload-private data retrievable at delivery with
+        :meth:`payload_of`; it never reaches the protocols and does not
+        count towards piggyback overhead.
+        """
+
+    @abc.abstractmethod
+    def set_timer(
+        self, pid: ProcessId, delay: float, tag: Hashable = None
+    ) -> None:
+        """Arm a timer: ``on_timer(pid, tag)`` fires after ``delay``."""
+
+    @abc.abstractmethod
+    def payload_of(self, msg_id: MessageId) -> Any:
+        """The payload attached at send time."""
+
+    @abc.abstractmethod
+    def stop(self) -> None:
+        """Ask the generator to stop producing events (optional use)."""
+
+
+class Workload(abc.ABC):
+    """Base class of all workloads.
+
+    Subclasses override the three hooks; all state they need should live
+    on the instance (a fresh instance is used per trace generation).
+    """
+
+    @abc.abstractmethod
+    def on_start(self, ctx: WorkloadContext) -> None:
+        """Called once at time 0: arm initial timers / send first messages."""
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        """A timer armed with ``set_timer`` fired."""
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        """Process ``pid`` just received ``msg_id`` from ``src``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,76 @@
+"""Bulk-synchronous (BSP-style) phased computation.
+
+Processes compute in supersteps: local work, then an all-to-all exchange,
+then (logical) barrier -- here realised purely by message counting, no
+extra synchronisation primitive.  Each process starts its next superstep
+once it has received the current superstep's message from every peer.
+
+Checkpointing folklore says BSP-ish traffic is benign -- the exchange
+pattern gives every dependency a causal double almost for free -- so the
+BHMR protocol should force very little here; the workload exists to
+probe that end of the spectrum (contrast with `random_uniform`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class BulkSynchronousWorkload(Workload):
+    """All-to-all exchanges separated by local computation.
+
+    Parameters
+    ----------
+    compute_time:
+        Mean local computation before each exchange.
+    supersteps:
+        Stop after this many rounds (0 = run until the horizon).
+    """
+
+    def __init__(self, compute_time: float = 1.0, supersteps: int = 0) -> None:
+        if compute_time <= 0:
+            raise ValueError("compute_time must be positive")
+        self.compute_time = compute_time
+        self.supersteps = supersteps
+        self._round: Dict[ProcessId, int] = {}
+        self._received: Dict[ProcessId, Dict[int, int]] = {}
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        self._round = {pid: 0 for pid in range(ctx.n)}
+        self._received = {pid: {} for pid in range(ctx.n)}
+        for pid in range(ctx.n):
+            self._arm_compute(ctx, pid)
+
+    def _arm_compute(self, ctx: WorkloadContext, pid: ProcessId) -> None:
+        ctx.set_timer(
+            pid, ctx.rng.expovariate(1.0 / self.compute_time), tag="exchange"
+        )
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if tag != "exchange":
+            return
+        rnd = self._round[pid]
+        if self.supersteps and rnd >= self.supersteps:
+            return
+        for dst in range(ctx.n):
+            if dst != pid:
+                ctx.send(pid, dst, payload=("step", rnd))
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        payload = ctx.payload_of(msg_id)
+        if not (isinstance(payload, tuple) and payload[0] == "step"):
+            return
+        rnd = payload[1]
+        counts = self._received[pid]
+        counts[rnd] = counts.get(rnd, 0) + 1
+        # Barrier reached for my current round: advance and compute.
+        if rnd == self._round[pid] and counts[rnd] == ctx.n - 1:
+            self._round[pid] += 1
+            self._arm_compute(ctx, pid)

@@ -1,0 +1,68 @@
+"""Bursty on/off traffic.
+
+Each process alternates between silent periods and bursts during which
+it fires messages at a hot partner (re-chosen per burst).  Bursts create
+dense local interaction patterns with sudden long-range dependency jumps
+-- a stress test for the protocols' interval bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class BurstyWorkload(Workload):
+    def __init__(
+        self,
+        burst_length: int = 5,
+        in_burst_gap: float = 0.05,
+        off_time: float = 3.0,
+    ) -> None:
+        if burst_length < 1:
+            raise ValueError("burst_length must be at least 1")
+        self.burst_length = burst_length
+        self.in_burst_gap = in_burst_gap
+        self.off_time = off_time
+        self._remaining: Dict[ProcessId, int] = {}
+        self._partner: Dict[ProcessId, ProcessId] = {}
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        self._remaining = {pid: 0 for pid in range(ctx.n)}
+        self._partner = {}
+        for pid in range(ctx.n):
+            ctx.set_timer(pid, ctx.rng.expovariate(1.0 / self.off_time), tag="burst")
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if ctx.n < 2:
+            return
+        if tag == "burst":
+            self._remaining[pid] = self.burst_length
+            partner = ctx.rng.randrange(ctx.n - 1)
+            if partner >= pid:
+                partner += 1
+            self._partner[pid] = partner
+            self._fire(ctx, pid)
+        elif tag == "shot":
+            self._fire(ctx, pid)
+
+    def _fire(self, ctx: WorkloadContext, pid: ProcessId) -> None:
+        if self._remaining[pid] > 0:
+            self._remaining[pid] -= 1
+            ctx.send(pid, self._partner[pid])
+            ctx.set_timer(
+                pid, ctx.rng.expovariate(1.0 / self.in_burst_gap), tag="shot"
+            )
+        else:
+            ctx.set_timer(
+                pid, ctx.rng.expovariate(1.0 / self.off_time), tag="burst"
+            )
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        pass

@@ -1,0 +1,100 @@
+"""The paper's client/server environment (section 5.3, Figure 9).
+
+Processes act like a chain of servers ``S_1 .. S_n``.  An external
+client repeatedly requests service from ``S_1``; on receiving a request,
+a server either replies to its requester or (with probability 1/2)
+forwards a sub-request to the next server and waits for its reply, which
+it then propagates back.  The last server always replies.
+
+"This environment is particularly interesting because the causal past of
+any message contains all the messages of the computation" -- every
+dependency is causally visible, so a clever protocol (one that *uses*
+that visibility, like BHMR) should force very little.
+
+Modelling: process 0 plays the external client, processes ``1 .. n-1``
+the servers.  Each server keeps a stack of pending requesters so
+overlapping conversations nest correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+_REQUEST = "request"
+_REPLY = "reply"
+
+
+class ClientServerWorkload(Workload):
+    """Chain-of-servers request/reply traffic.
+
+    Parameters
+    ----------
+    forward_probability:
+        Chance that a server forwards instead of replying (paper: 1/2).
+    think_time:
+        Mean client delay between receiving a reply and the next request.
+    pipeline:
+        Number of concurrent requests the client keeps outstanding.
+    """
+
+    def __init__(
+        self,
+        forward_probability: float = 0.5,
+        think_time: float = 1.0,
+        pipeline: int = 1,
+    ) -> None:
+        if not 0 <= forward_probability <= 1:
+            raise ValueError("forward_probability must be in [0, 1]")
+        if pipeline < 1:
+            raise ValueError("pipeline must be at least 1")
+        self.forward_probability = forward_probability
+        self.think_time = think_time
+        self.pipeline = pipeline
+        self._pending: Dict[ProcessId, List[ProcessId]] = {}
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: WorkloadContext) -> None:
+        if ctx.n < 2:
+            raise ValueError("client/server needs at least two processes")
+        self._pending = {pid: [] for pid in range(ctx.n)}
+        for k in range(self.pipeline):
+            ctx.set_timer(0, 0.01 * (k + 1), tag="issue")
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if tag == "issue" and pid == 0:
+            ctx.send(0, 1, payload=_REQUEST)
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        kind = ctx.payload_of(msg_id)
+        if kind == _REQUEST:
+            self._serve(ctx, pid, src)
+        elif kind == _REPLY:
+            if pid == 0:
+                # Client got its answer; think, then re-issue.
+                ctx.set_timer(
+                    0, ctx.rng.expovariate(1.0 / self.think_time), tag="issue"
+                )
+            else:
+                # Reply to my own pending requester, if any.
+                self._reply(ctx, pid)
+
+    # ------------------------------------------------------------------
+    def _serve(self, ctx: WorkloadContext, pid: ProcessId, requester: ProcessId):
+        last_server = ctx.n - 1
+        if pid < last_server and ctx.rng.random() < self.forward_probability:
+            self._pending[pid].append(requester)
+            ctx.send(pid, pid + 1, payload=_REQUEST)
+        else:
+            ctx.send(pid, requester, payload=_REPLY)
+
+    def _reply(self, ctx: WorkloadContext, pid: ProcessId) -> None:
+        if self._pending[pid]:
+            requester = self._pending[pid].pop()
+            ctx.send(pid, requester, payload=_REPLY)

@@ -1,0 +1,114 @@
+"""Overlapping group communication (the paper's Figure 8 environment).
+
+Processes are organised into groups that *overlap*: consecutive groups
+share ``overlap`` members (think replicated services with shared
+brokers).  A process mostly multicasts within its own group(s) and
+occasionally sends to a uniformly random process outside.  Overlap
+members relay causality between groups, which is exactly the structure
+that creates non-causal chains with (or without) causal siblings --
+where the BHMR protocol's ``causal`` matrix pays off.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class OverlappingGroupsWorkload(Workload):
+    """Group-local multicast with overlapping membership.
+
+    Parameters
+    ----------
+    group_size:
+        Number of processes per group.
+    overlap:
+        Members shared between consecutive groups (0 <= overlap <
+        group_size).  Groups tile the ring of processes with stride
+        ``group_size - overlap``.
+    send_rate:
+        Mean activations per process per time unit.
+    p_multicast:
+        Probability that an activation multicasts to the whole group
+        (otherwise a single message to a random group member).
+    p_external:
+        Probability that an activation instead sends one message to a
+        uniformly random process outside every group of the sender.
+    """
+
+    def __init__(
+        self,
+        group_size: int = 4,
+        overlap: int = 1,
+        send_rate: float = 1.0,
+        p_multicast: float = 0.3,
+        p_external: float = 0.05,
+    ) -> None:
+        if not 0 <= overlap < group_size:
+            raise ValueError("need 0 <= overlap < group_size")
+        if not 0 <= p_multicast <= 1 or not 0 <= p_external <= 1:
+            raise ValueError("probabilities must be in [0, 1]")
+        self.group_size = group_size
+        self.overlap = overlap
+        self.send_rate = send_rate
+        self.p_multicast = p_multicast
+        self.p_external = p_external
+        self._groups: List[List[ProcessId]] = []
+        self._groups_of: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    def _build_groups(self, n: int) -> None:
+        stride = self.group_size - self.overlap
+        self._groups = []
+        start = 0
+        while start < n:
+            group = [(start + k) % n for k in range(self.group_size)]
+            self._groups.append(sorted(set(group)))
+            start += stride
+            if len(self._groups) * stride >= n:
+                break
+        self._groups_of = [[] for _ in range(n)]
+        for gi, group in enumerate(self._groups):
+            for pid in group:
+                self._groups_of[pid].append(gi)
+
+    def groups(self) -> List[List[ProcessId]]:
+        """The group structure (after ``on_start``); for inspection."""
+        return [list(g) for g in self._groups]
+
+    # ------------------------------------------------------------------
+    def _arm(self, ctx: WorkloadContext, pid: ProcessId) -> None:
+        ctx.set_timer(pid, ctx.rng.expovariate(self.send_rate), tag="act")
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        self._build_groups(ctx.n)
+        for pid in range(ctx.n):
+            self._arm(ctx, pid)
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        rng = ctx.rng
+        my_groups = self._groups_of[pid]
+        peers = sorted(
+            {m for gi in my_groups for m in self._groups[gi] if m != pid}
+        )
+        roll = rng.random()
+        if peers and roll >= self.p_external:
+            if rng.random() < self.p_multicast:
+                for dst in peers:
+                    ctx.send(pid, dst)
+            else:
+                ctx.send(pid, rng.choice(peers))
+        elif ctx.n > 1:
+            outsiders = [p for p in range(ctx.n) if p != pid and p not in peers]
+            pool = outsiders if outsiders else [p for p in range(ctx.n) if p != pid]
+            ctx.send(pid, rng.choice(pool))
+        self._arm(ctx, pid)
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        pass

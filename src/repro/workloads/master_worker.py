@@ -1,0 +1,52 @@
+"""Master/worker task farming.
+
+Process 0 is the master: it keeps every worker loaded with one task at a
+time; workers compute (exponential service time) and return results.
+The pattern is a star: all chains pass through the master, so causal
+siblings are plentiful -- an environment where protocols that *detect*
+siblings (BHMR) should beat FDAS clearly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class MasterWorkerWorkload(Workload):
+    def __init__(self, service_time: float = 1.0, dispatch_time: float = 0.05):
+        self.service_time = service_time
+        self.dispatch_time = dispatch_time
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        if ctx.n < 2:
+            raise ValueError("master/worker needs at least two processes")
+        for worker in range(1, ctx.n):
+            ctx.set_timer(0, self.dispatch_time * worker, tag=("dispatch", worker))
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if isinstance(tag, tuple) and tag[0] == "dispatch" and pid == 0:
+            ctx.send(0, tag[1], payload="task")
+        elif isinstance(tag, tuple) and tag[0] == "finish":
+            ctx.send(pid, 0, payload="result")
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        if pid == 0:
+            # Result received: immediately re-dispatch to that worker.
+            ctx.set_timer(
+                0,
+                ctx.rng.expovariate(1.0 / self.dispatch_time),
+                tag=("dispatch", src),
+            )
+        else:
+            ctx.set_timer(
+                pid,
+                ctx.rng.expovariate(1.0 / self.service_time),
+                tag=("finish", msg_id),
+            )

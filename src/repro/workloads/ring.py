@@ -1,0 +1,79 @@
+"""Ring / pipeline traffic.
+
+Two related deterministic-topology workloads:
+
+* :class:`RingWorkload` -- a token circulates; each holder does some
+  (exponentially distributed) work, then passes it on.  Optionally
+  several tokens.  With one token, the traffic is purely causal and no
+  RDT protocol should ever force a checkpoint (a useful boundary case).
+* :class:`PipelineWorkload` -- stage ``k`` streams items to stage
+  ``k+1``; sources inject at a fixed rate.  Creates long causal chains
+  with occasional cross-stage concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.types import MessageId, ProcessId
+from repro.workloads.base import Workload, WorkloadContext
+
+
+class RingWorkload(Workload):
+    """Token(s) circulating around the process ring."""
+
+    def __init__(self, tokens: int = 1, hold_time: float = 0.5) -> None:
+        if tokens < 1:
+            raise ValueError("need at least one token")
+        self.tokens = tokens
+        self.hold_time = hold_time
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        for k in range(self.tokens):
+            holder = (k * ctx.n) // self.tokens
+            ctx.set_timer(holder, self._hold(ctx), tag="pass")
+
+    def _hold(self, ctx: WorkloadContext) -> float:
+        return ctx.rng.expovariate(1.0 / self.hold_time)
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if ctx.n > 1:
+            ctx.send(pid, (pid + 1) % ctx.n, payload="token")
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        ctx.set_timer(pid, self._hold(ctx), tag="pass")
+
+
+class PipelineWorkload(Workload):
+    """Items stream through stages ``0 -> 1 -> ... -> n-1``."""
+
+    def __init__(self, inject_rate: float = 1.0, stage_time: float = 0.2) -> None:
+        self.inject_rate = inject_rate
+        self.stage_time = stage_time
+
+    def on_start(self, ctx: WorkloadContext) -> None:
+        ctx.set_timer(0, ctx.rng.expovariate(self.inject_rate), tag="inject")
+
+    def on_timer(
+        self, ctx: WorkloadContext, pid: ProcessId, tag: Optional[Hashable]
+    ) -> None:
+        if tag == "inject":
+            if ctx.n > 1:
+                ctx.send(0, 1, payload="item")
+            ctx.set_timer(0, ctx.rng.expovariate(self.inject_rate), tag="inject")
+        elif isinstance(tag, tuple) and tag[0] == "done":
+            nxt = pid + 1
+            if nxt < ctx.n:
+                ctx.send(pid, nxt, payload="item")
+
+    def on_deliver(
+        self, ctx: WorkloadContext, pid: ProcessId, src: ProcessId, msg_id: MessageId
+    ) -> None:
+        # Process the item for a while, then hand it downstream.
+        ctx.set_timer(
+            pid, ctx.rng.expovariate(1.0 / self.stage_time), tag=("done", msg_id)
+        )

@@ -1,0 +1,98 @@
+"""Consistency tests: orphan messages, pairs, global checkpoints."""
+
+import pytest
+
+from repro.analysis import (
+    in_transit_of_cut,
+    is_consistent_gcp,
+    is_consistent_pair,
+    orphan_messages,
+    orphans_of_cut,
+)
+from repro.events import figure1_pattern, ping_pong_domino_pattern
+from repro.types import CheckpointId as C
+from repro.types import PatternError
+
+I, J, K = 0, 1, 2
+
+
+@pytest.fixture
+def fig1():
+    return figure1_pattern()
+
+
+class TestOrphans:
+    def test_m5_is_orphan_for_ci2_cj2(self, fig1):
+        orphans = orphan_messages(fig1, C(I, 2), C(J, 2))
+        assert [m.msg_id for m in orphans] == [fig1.figure_names["m5"]]
+
+    def test_no_orphan_for_ck1_cj1(self, fig1):
+        assert orphan_messages(fig1, C(K, 1), C(J, 1)) == []
+        assert orphan_messages(fig1, C(J, 1), C(K, 1)) == []
+
+
+class TestPairs:
+    def test_paper_examples(self, fig1):
+        # Section 2.2: (C_k1, C_j1) consistent, (C_i2, C_j2) inconsistent.
+        assert is_consistent_pair(fig1, C(K, 1), C(J, 1))
+        assert not is_consistent_pair(fig1, C(I, 2), C(J, 2))
+
+    def test_pair_is_symmetric(self, fig1):
+        assert is_consistent_pair(fig1, C(J, 2), C(I, 2)) == is_consistent_pair(
+            fig1, C(I, 2), C(J, 2)
+        )
+
+    def test_same_process_pair(self, fig1):
+        assert is_consistent_pair(fig1, C(I, 2), C(I, 2))
+        assert not is_consistent_pair(fig1, C(I, 1), C(I, 2))
+
+
+class TestGlobalCheckpoints:
+    def test_paper_examples(self, fig1):
+        # {C_i1, C_j1, C_k1} consistent; {C_i2, C_j2, C_k1} not.
+        assert is_consistent_gcp(fig1, [C(I, 1), C(J, 1), C(K, 1)])
+        assert not is_consistent_gcp(fig1, [C(I, 2), C(J, 2), C(K, 1)])
+
+    def test_accepts_mapping_and_sequence_forms(self, fig1):
+        assert is_consistent_gcp(fig1, {0: 1, 1: 1, 2: 1})
+        assert is_consistent_gcp(fig1, [1, 1, 1])
+
+    def test_initial_gcp_always_consistent(self, fig1):
+        assert is_consistent_gcp(fig1, [0, 0, 0])
+
+    def test_orphans_of_cut_lists_culprits(self, fig1):
+        orphans = orphans_of_cut(fig1, [C(I, 2), C(J, 2), C(K, 1)])
+        assert fig1.figure_names["m5"] in [m.msg_id for m in orphans]
+
+    def test_incomplete_gcp_rejected(self, fig1):
+        with pytest.raises(PatternError):
+            is_consistent_gcp(fig1, [C(I, 1), C(J, 1)])
+
+    def test_duplicate_process_rejected(self, fig1):
+        with pytest.raises(PatternError):
+            is_consistent_gcp(fig1, [C(I, 1), C(I, 2), C(K, 1)])
+
+    def test_nonexistent_checkpoint_rejected(self, fig1):
+        with pytest.raises(PatternError):
+            is_consistent_gcp(fig1, [C(I, 9), C(J, 1), C(K, 1)])
+
+
+class TestInTransit:
+    def test_in_transit_of_cut(self, fig1):
+        # For the cut (1,1,1): m2 was sent in I(j,1) (inside the cut) but
+        # delivered in I(i,2) (outside): it is logically in transit.
+        msgs = in_transit_of_cut(fig1, [1, 1, 1])
+        assert fig1.figure_names["m2"] in [m.msg_id for m in msgs]
+        # m1 is sent and delivered inside the cut: not in transit.
+        assert fig1.figure_names["m1"] not in [m.msg_id for m in msgs]
+
+
+class TestDominoPattern:
+    def test_adjacent_cuts_all_inconsistent(self):
+        h = ping_pong_domino_pattern(rounds=4)
+        # Any {C(0,x), C(1,y)} with x,y >= 1 is inconsistent: that is the
+        # domino structure (only the initial pair works).
+        for x in range(1, 5):
+            for y in range(1, 5):
+                assert not is_consistent_gcp(h, {0: x, 1: y}), (x, y)
+        assert is_consistent_gcp(h, {0: 0, 1: 0})

@@ -1,0 +1,125 @@
+"""Checkpoint-frequency trade-off tests."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    checkpoint_rate_study,
+    crash_loss,
+    daly_interval,
+    young_interval,
+)
+from repro.sim import Simulation, SimulationConfig
+from repro.types import AnalysisError
+from repro.workloads import RandomUniformWorkload
+
+
+class TestFormulas:
+    def test_young_known_value(self):
+        # sqrt(2 * 8 * 100) = 40
+        assert young_interval(8.0, 100.0) == pytest.approx(40.0)
+
+    def test_daly_close_to_young_for_small_cost(self):
+        y = young_interval(0.1, 1000.0)
+        d = daly_interval(0.1, 1000.0)
+        assert abs(d - y) / y < 0.01
+
+    def test_daly_caps_at_mtbf(self):
+        assert daly_interval(500.0, 100.0) == 100.0
+
+    def test_daly_formula_value(self):
+        c, m = 8.0, 100.0
+        ratio = c / (2 * m)
+        expect = (
+            math.sqrt(2 * c * m) * (1 + math.sqrt(ratio) / 3 + ratio / 9) - c
+        )
+        assert daly_interval(c, m) == pytest.approx(expect)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            young_interval(0, 1)
+        with pytest.raises(AnalysisError):
+            daly_interval(1, 0)
+
+
+def run_at_rate_factory(protocol):
+    def run_at_rate(rate, seed):
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=2.0),
+            SimulationConfig(n=3, duration=60.0, seed=seed, basic_rate=rate),
+        )
+        return sim.run(protocol).history
+
+    return run_at_rate
+
+
+class TestCrashLoss:
+    def test_no_loss_right_after_checkpoint_everywhere(self):
+        from repro.events import PatternBuilder
+
+        b = PatternBuilder(2)
+        b.transmit(0, 1)
+        b.checkpoint_all()
+        h = b.build(close=True)
+        last_time = h.checkpoints(1)[-1].time
+        assert crash_loss(h, 0, at_time=last_time + 1) == 0
+
+    def test_loss_counts_pre_crash_events_only(self):
+        from repro.events import PatternBuilder
+
+        b = PatternBuilder(2)
+        b.checkpoint_all()
+        m = b.send(0, 1)  # after P0's checkpoint: volatile
+        b.deliver(m)
+        h = b.build(close=True)
+        send_time = h.send_event(h.message(m)).time
+        # Crash P0 just after the send: the send (and the delivery, if
+        # already happened) are lost; nothing after the crash counts.
+        loss = crash_loss(h, 0, at_time=send_time + 0.5)
+        assert loss >= 1
+
+
+class TestRateStudy:
+    @pytest.fixture(scope="class")
+    def independent_points(self):
+        return checkpoint_rate_study(
+            run_at_rate_factory("independent"),
+            rates=[0.05, 0.2, 0.8],
+            seeds=(0, 1),
+            crash_times=(15.0, 30.0, 45.0),
+        )
+
+    def test_overhead_increases_with_rate(self, independent_points):
+        overheads = [p.overhead_events for p in independent_points]
+        assert overheads == sorted(overheads)
+
+    def test_lost_work_decreases_with_rate(self, independent_points):
+        losses = [p.mean_lost_events for p in independent_points]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_rows_render(self, independent_points):
+        row = independent_points[0].as_row()
+        assert set(row) == {"basic_rate", "checkpoints", "overhead",
+                            "mean lost", "total"}
+
+    def test_cic_flattens_the_lost_work_curve(self):
+        """Under BHMR, lost work stays small at every basic rate: the
+        forced checkpoints do the protecting."""
+        points = checkpoint_rate_study(
+            run_at_rate_factory("bhmr"),
+            rates=[0.05, 0.8],
+            seeds=(0,),
+            crash_times=(15.0, 30.0, 45.0),
+        )
+        for p in points:
+            assert p.mean_lost_events < 30, p
+        indep = checkpoint_rate_study(
+            run_at_rate_factory("independent"),
+            rates=[0.05],
+            seeds=(0,),
+            crash_times=(15.0, 30.0, 45.0),
+        )
+        assert indep[0].mean_lost_events > 2 * max(
+            p.mean_lost_events for p in points
+        )

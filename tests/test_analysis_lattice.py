@@ -1,0 +1,140 @@
+"""Consistent-cut lattice tests: closure, navigation, enumeration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    advance_candidates,
+    count_consistent_cuts,
+    cut_join,
+    cut_leq,
+    cut_meet,
+    is_consistent_gcp,
+    iter_consistent_cuts,
+    lattice_closure_check,
+    max_consistent_gcp,
+    min_consistent_gcp,
+    retreat_candidates,
+)
+from repro.events import figure1_pattern
+from repro.types import AnalysisError, CheckpointId as C
+
+from tests.test_property_hypothesis import build_pattern, pattern_inputs
+
+I, J, K = 0, 1, 2
+
+
+@pytest.fixture
+def fig1():
+    return figure1_pattern()
+
+
+class TestMeetJoin:
+    def test_meet_and_join(self):
+        a = {0: 1, 1: 3}
+        b = {0: 2, 1: 2}
+        assert cut_meet(a, b) == {0: 1, 1: 2}
+        assert cut_join(a, b) == {0: 2, 1: 3}
+
+    def test_order(self):
+        assert cut_leq({0: 1, 1: 1}, {0: 1, 1: 2})
+        assert not cut_leq({0: 2, 1: 1}, {0: 1, 1: 2})
+
+    def test_mismatched_processes_rejected(self):
+        with pytest.raises(AnalysisError):
+            cut_meet({0: 1}, {0: 1, 1: 1})
+
+    def test_closure_on_figure1(self, fig1):
+        cuts = [{0: 1, 1: 1, 2: 1}, {0: 2, 1: 1, 2: 1}, {0: 0, 1: 0, 2: 0}]
+        assert lattice_closure_check(fig1, cuts)
+
+    def test_closure_check_rejects_inconsistent_input(self, fig1):
+        assert not lattice_closure_check(fig1, [{0: 2, 1: 2, 2: 1}])
+
+
+class TestNavigation:
+    def test_advance_from_initial(self, fig1):
+        start = {0: 0, 1: 0, 2: 0}
+        candidates = advance_candidates(fig1, start)
+        assert candidates  # somebody can always move first
+        for pid in candidates:
+            stepped = dict(start)
+            stepped[pid] += 1
+            assert is_consistent_gcp(fig1, stepped)
+
+    def test_retreat_from_111(self, fig1):
+        candidates = retreat_candidates(fig1, {0: 1, 1: 1, 2: 1})
+        for pid in candidates:
+            cut = {0: 1, 1: 1, 2: 1}
+            cut[pid] -= 1
+            assert is_consistent_gcp(fig1, cut)
+
+    def test_no_advance_past_last(self, fig1):
+        top = {p: fig1.last_index(p) for p in range(3)}
+        assert advance_candidates(fig1, top) == []
+
+    def test_no_retreat_below_zero(self, fig1):
+        assert retreat_candidates(fig1, {0: 0, 1: 0, 2: 0}) == []
+
+
+class TestEnumeration:
+    def test_interval_enumeration_contains_endpoints(self, fig1):
+        lo = min_consistent_gcp(fig1, [C(I, 2)])
+        hi = max_consistent_gcp(fig1, [C(I, 2)])
+        assert lo is not None and hi is not None
+        cuts = list(iter_consistent_cuts(fig1, lo, hi))
+        assert lo in cuts and hi in cuts
+        for cut in cuts:
+            assert is_consistent_gcp(fig1, cut)
+            assert cut_leq(lo, cut) and cut_leq(cut, hi)
+
+    def test_count_matches_iter(self, fig1):
+        lo = {0: 0, 1: 0, 2: 0}
+        hi = {0: 1, 1: 1, 2: 1}
+        assert count_consistent_cuts(fig1, lo, hi) == len(
+            list(iter_consistent_cuts(fig1, lo, hi))
+        )
+
+    def test_limit(self, fig1):
+        lo = {0: 0, 1: 0, 2: 0}
+        hi = {p: fig1.last_index(p) for p in range(3)}
+        assert len(list(iter_consistent_cuts(fig1, lo, hi, limit=2))) == 2
+
+    def test_bad_interval_rejected(self, fig1):
+        with pytest.raises(AnalysisError):
+            list(iter_consistent_cuts(fig1, {0: 1, 1: 1, 2: 1}, {0: 0, 1: 0, 2: 0}))
+
+
+class TestLatticeProperty:
+    @given(pattern_inputs)
+    @settings(max_examples=25, deadline=None)
+    def test_consistent_cuts_closed_under_meet_join(self, inputs):
+        n, ops = inputs
+        history = build_pattern(n, ops[:35])
+        tops = [history.last_index(p) for p in range(n)]
+        if any(t > 3 for t in tops):
+            return  # keep enumeration small
+        lo = {p: 0 for p in range(n)}
+        hi = {p: tops[p] for p in range(n)}
+        cuts = list(iter_consistent_cuts(history, lo, hi, limit=40))
+        assert lattice_closure_check(history, cuts)
+
+    @given(pattern_inputs)
+    @settings(max_examples=25, deadline=None)
+    def test_min_max_are_lattice_extremes(self, inputs):
+        n, ops = inputs
+        history = build_pattern(n, ops[:35])
+        for cid in history.checkpoint_ids():
+            lo = min_consistent_gcp(history, [cid])
+            hi = max_consistent_gcp(history, [cid])
+            if lo is None or hi is None:
+                continue
+            assert cut_leq(lo, hi)
+            # Any consistent cut pinning cid sits inside [lo, hi]: check
+            # a couple of navigation steps from lo.
+            for pid in advance_candidates(history, lo):
+                if pid == cid.pid:
+                    continue
+                stepped = dict(lo)
+                stepped[pid] += 1
+                assert cut_leq(lo, stepped) and cut_leq(stepped, hi)

@@ -1,0 +1,90 @@
+"""Z-cycle and useless-checkpoint detection tests."""
+
+import pytest
+
+from repro.analysis import (
+    check_rdt,
+    find_z_cycles,
+    has_z_cycle,
+    useless_checkpoints,
+    useless_checkpoints_rgraph,
+)
+from repro.events import PatternBuilder, figure1_pattern, random_pattern
+from repro.types import CheckpointId as C
+
+I, J, K = 0, 1, 2
+
+
+def zcycle_pattern():
+    """The paper's Figure 4 shape: a chain from C(k,z) back to C(k,z-1).
+
+    P_k sends mu' after its checkpoint; P_i relays back before P_k's
+    checkpoint: C(k,1) becomes useless.
+    """
+    b = PatternBuilder(2)  # P0 = P_k, P1 = P_i
+    mu2 = b.send(1, 0)  # the returning message, sent early by P_i
+    b.deliver(mu2)  # delivered at P_k in I(0,1)
+    b.checkpoint(0)  # C(0,1)
+    mu1 = b.send(0, 1)  # sent by P_k in I(0,2)
+    b.deliver(mu1)  # delivered at P_i in I(1,1): zigzag closes
+    return b.build(close=True)
+
+
+class TestZCyclePattern:
+    def test_useless_checkpoint_found(self):
+        h = zcycle_pattern()
+        assert useless_checkpoints(h) == [C(0, 1)]
+
+    def test_rgraph_detector_agrees(self):
+        h = zcycle_pattern()
+        assert useless_checkpoints_rgraph(h) == [C(0, 1)]
+
+    def test_z_cycles_reported(self):
+        h = zcycle_pattern()
+        assert has_z_cycle(h)
+        (cycle,) = find_z_cycles(h)
+        assert C(0, 1) in cycle or C(0, 2) in cycle
+
+    def test_z_cycle_implies_rdt_violation(self):
+        assert not check_rdt(zcycle_pattern()).holds
+
+
+class TestFigure1:
+    def test_ck2_is_useless(self):
+        h = figure1_pattern()
+        assert useless_checkpoints(h) == [C(K, 2)]
+        assert useless_checkpoints_rgraph(h) == [C(K, 2)]
+
+    def test_cycle_members(self):
+        (cycle,) = find_z_cycles(figure1_pattern())
+        assert set(cycle) == {C(J, 3), C(K, 2), C(K, 3)}
+
+
+class TestCleanPatterns:
+    def test_causal_traffic_has_no_z_cycle(self):
+        b = PatternBuilder(3)
+        b.transmit(0, 1)
+        b.transmit(1, 2)
+        b.checkpoint_all()
+        b.transmit(2, 0)
+        h = b.build(close=True)
+        assert not has_z_cycle(h)
+        assert useless_checkpoints(h) == []
+
+    def test_no_messages_no_cycles(self):
+        b = PatternBuilder(2)
+        b.checkpoint_all()
+        assert useless_checkpoints(b.build()) == []
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_detectors_agree_on_random_patterns(self, seed):
+        h = random_pattern(n=4, steps=70, seed=seed)
+        assert useless_checkpoints(h) == useless_checkpoints_rgraph(h)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_rdt_implies_no_useless_checkpoints(self, seed):
+        h = random_pattern(n=3, steps=50, seed=seed)
+        if check_rdt(h).holds:
+            assert useless_checkpoints(h) == []

@@ -1,0 +1,137 @@
+"""Visible-characterization tests: the PODC'99 equivalence, executable.
+
+The central claim: definitional RDT ("all R-paths trackable")
+is equivalent to the *elementary* characterization ("every causal-chain
++ one-message path across a non-causal junction is doubled").  Verified
+on the paper's figures, on protocol runs, and property-based on
+arbitrary hypothesis-generated patterns.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    check_rdt,
+    check_rdt_elementary,
+    junction_census,
+    noncausal_junctions,
+)
+from repro.events import PatternBuilder, figure1_pattern, random_pattern
+from repro.sim import Simulation, SimulationConfig
+from repro.types import CheckpointId as C
+from repro.workloads import RandomUniformWorkload
+
+from tests.test_property_hypothesis import build_pattern, pattern_inputs
+
+I, J, K = 0, 1, 2
+
+
+class TestJunctions:
+    def test_figure1_junctions(self):
+        h = figure1_pattern()
+        names = h.figure_names
+        junctions = {
+            (j.first_msg, j.after_msg) for j in noncausal_junctions(h)
+        }
+        # The two famous ones: m3 ~> m2 (at P_j, interval 1) and
+        # m5 ~> m4 (at P_j, interval 2).
+        assert (names["m3"], names["m2"]) in junctions
+        assert (names["m5"], names["m4"]) in junctions
+        # Causal pairs are not junctions.
+        assert (names["m2"], names["m5"]) not in junctions
+
+    def test_checkpoint_breaks_junction(self):
+        b = PatternBuilder(2)
+        m1 = b.send(1, 0)
+        b.deliver(m1)
+        m2 = b.send(0, 1)  # sent after deliver(m1): causal at P0
+        b.checkpoint(1)  # breaks the would-be junction m2 ~> m1 at P1
+        b.deliver(m2)
+        h = b.build(close=True)
+        assert list(noncausal_junctions(h)) == []
+        assert junction_census(h)["broken"] == 1
+
+    def test_census_counts(self):
+        h = figure1_pattern()
+        census = junction_census(h)
+        assert census["non_causal"] >= 2
+        assert census["causal"] >= 2  # e.g. m2 -> m5, m4 -> m7
+
+
+class TestElementaryChecker:
+    def test_figure1_fails_both_ways(self):
+        h = figure1_pattern()
+        assert not check_rdt(h).holds
+        report = check_rdt_elementary(h)
+        assert not report.holds
+        endpoints = {(v.source, v.target) for v in report.violations}
+        # The hidden dependency of Figure 1 shows as an undoubled
+        # elementary path from C(k,1) to C(i,2).
+        assert (C(K, 1), C(I, 2)) in endpoints
+
+    def test_clean_pattern_passes(self):
+        b = PatternBuilder(3)
+        b.transmit(0, 1)
+        b.transmit(1, 2)
+        b.checkpoint_all()
+        h = b.build(close=True)
+        report = check_rdt_elementary(h)
+        assert report.holds and report.junctions_checked == 0
+
+    def test_doubled_junction_passes(self):
+        # Non-causal junction whose elementary path has a causal sibling.
+        b = PatternBuilder(3)
+        m1 = b.send(0, 1)
+        m2 = b.send(1, 2)  # sent before deliver(m1): junction
+        b.deliver(m1)
+        m3 = b.send(1, 2)  # causal sibling chain [m1, m3]
+        b.deliver(m2)
+        b.deliver(m3)
+        h = b.build(close=True)
+        assert check_rdt(h).holds
+        report = check_rdt_elementary(h)
+        assert report.holds and report.junctions_checked >= 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equivalence_on_random_patterns(self, seed):
+        h = random_pattern(n=4, steps=70, seed=seed)
+        assert check_rdt(h).holds == check_rdt_elementary(h).holds
+
+    @pytest.mark.parametrize("protocol", ["bhmr", "fdas", "cbr"])
+    def test_protocol_runs_pass_elementary(self, protocol):
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=1.5),
+            SimulationConfig(n=4, duration=30.0, seed=2, basic_rate=0.3),
+        )
+        assert check_rdt_elementary(sim.run(protocol).history).holds
+
+    def test_independent_run_fails_elementary(self):
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=2.0),
+            SimulationConfig(n=4, duration=30.0, seed=2, basic_rate=0.3),
+        )
+        history = sim.run("independent").history
+        assert check_rdt(history).holds == check_rdt_elementary(history).holds
+
+
+class TestEquivalenceProperty:
+    """The characterization theorem, property-based."""
+
+    @given(pattern_inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_elementary_equals_definitional(self, inputs):
+        n, ops = inputs
+        history = build_pattern(n, ops)
+        assert check_rdt(history).holds == check_rdt_elementary(history).holds
+
+    @given(pattern_inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_elementary_violations_are_real_rdt_violations(self, inputs):
+        n, ops = inputs
+        history = build_pattern(n, ops)
+        definitional = {
+            (v.source, v.target) for v in check_rdt(history).violations
+        }
+        for violation in check_rdt_elementary(history).violations:
+            assert (violation.source, violation.target) in definitional

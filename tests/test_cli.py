@@ -1,0 +1,132 @@
+"""CLI tests (in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "bhmr", "-n", "3", "--duration", "15"
+        )
+        assert code == 0
+        assert "bhmr" in out and "forced" in out
+
+    def test_run_check_rdt_pass(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "fdas", "-n", "3",
+            "--duration", "15", "--check-rdt",
+        )
+        assert code == 0 and "holds" in out
+
+    def test_run_check_rdt_fail_sets_exit_code(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "independent", "-n", "3",
+            "--duration", "30", "--basic-rate", "0.5", "--check-rdt",
+            "--workload-arg", "send_rate=2.0",
+        )
+        assert code == 1
+
+    def test_unknown_workload_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "nope"])
+
+    def test_workload_arg_validation(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload-arg", "garbage"])
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "-n", "3", "--duration", "15",
+            "--protocols", "bhmr", "fdas", "--seeds", "0",
+        )
+        assert code == 0
+        assert "bhmr" in out and "fdas" in out and "R" in out
+
+
+class TestSweep:
+    def test_sweep_series(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "-n", "3", "--duration", "12",
+            "--rates", "0.1", "0.4", "--seeds", "0",
+        )
+        assert code == 0
+        assert "basic_rate" in out
+
+
+class TestAnalyze:
+    def test_figure1_reports_violation(self, capsys):
+        code, out = run_cli(capsys, "analyze", "figure1")
+        assert code == 1
+        assert "VIOLATED" in out and "Z-cycles" in out
+
+    def test_domino_pattern(self, capsys):
+        code, out = run_cli(capsys, "analyze", "domino", "--rounds", "3")
+        assert "pattern" in out
+
+    def test_simulated_with_protocol(self, capsys):
+        code, out = run_cli(
+            capsys, "analyze", "simulated", "--protocol", "bhmr",
+            "-n", "3", "--duration", "15",
+        )
+        assert code == 0 and "holds" in out
+
+
+class TestRecover:
+    def test_recovery_output(self, capsys):
+        code, out = run_cli(
+            capsys, "recover", "-n", "3", "--duration", "20",
+            "--crash-pid", "1", "--crash-time", "10",
+        )
+        assert code == 0
+        assert "recovery line" in out and "events undone" in out
+
+
+class TestRegistries:
+    def test_protocols_listing(self, capsys):
+        code, out = run_cli(capsys, "protocols")
+        assert code == 0
+        assert "bhmr" in out and "independent" in out
+
+    def test_workloads_listing(self, capsys):
+        code, out = run_cli(capsys, "workloads")
+        assert code == 0
+        assert "client-server" in out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "protocols"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0 and "bhmr" in proc.stdout
+
+
+class TestSaveLoad:
+    def test_run_save_then_analyze_file(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        code, out = run_cli(
+            capsys, "run", "--protocol", "bhmr", "-n", "3",
+            "--duration", "15", "--save", path,
+        )
+        assert code == 0 and "saved" in out
+        code, out = run_cli(capsys, "analyze", "file", "--path", path)
+        assert code == 0 and "holds" in out
+
+    def test_analyze_file_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "file"])

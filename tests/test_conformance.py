@@ -1,0 +1,76 @@
+"""The conformance kit, applied to every registered protocol -- and to
+deliberately broken ones to prove the kit catches real faults."""
+
+import pytest
+
+from repro.core import PROTOCOLS, BHMRProtocol, IndependentProtocol
+from repro.testing import (
+    ConformanceError,
+    assert_conformant,
+    conformance_report,
+)
+
+
+class TestAllRegisteredProtocolsConform:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_conformant(self, name):
+        report = conformance_report(PROTOCOLS[name], seeds=(0, 1))
+        assert report.ok, report
+
+    def test_assert_form(self):
+        assert_conformant(BHMRProtocol, seeds=(0,), duration=10.0)
+
+
+class _FalseRDTClaim(IndependentProtocol):
+    """Claims RDT, never forces: the guarantee check must fail."""
+
+    name = "broken-claims-rdt"
+    ensures_rdt = True
+
+
+class _BrokenPredicate(BHMRProtocol):
+    """Non-repeatable forcing predicate: the contract check must fail."""
+
+    name = "broken-flipflop"
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self._flip = False
+
+    def wants_forced_checkpoint(self, pb, sender):
+        self._flip = not self._flip
+        return self._flip
+
+
+class _BrokenInterval(BHMRProtocol):
+    """Forgets to advance the interval on checkpoints."""
+
+    name = "broken-interval"
+
+    def on_checkpoint(self, forced=False):
+        pass  # neither saves nor advances
+
+
+class TestKitCatchesBrokenProtocols:
+    def test_false_rdt_claim_detected(self):
+        report = conformance_report(_FalseRDTClaim, seeds=(0, 1, 2))
+        assert not report.ok
+        assert any("claims RDT" in f for f in report.failed)
+
+    def test_flipflop_predicate_detected(self):
+        report = conformance_report(_BrokenPredicate, seeds=(0,))
+        assert any("repeatable" in f for f in report.failed)
+
+    def test_broken_interval_detected(self):
+        report = conformance_report(_BrokenInterval, seeds=(0,))
+        assert any("advance the interval" in f for f in report.failed)
+
+    def test_assert_raises(self):
+        with pytest.raises(ConformanceError):
+            assert_conformant(_FalseRDTClaim, seeds=(0, 1, 2))
+
+    def test_report_repr(self):
+        ok = conformance_report(BHMRProtocol, seeds=(0,))
+        assert "OK" in repr(ok)
+        bad = conformance_report(_FalseRDTClaim, seeds=(0, 1, 2))
+        assert "FAILED" in repr(bad)

@@ -1,0 +1,82 @@
+"""Chandy-Lamport coordinated snapshot tests."""
+
+import pytest
+
+from repro.analysis import in_transit_of_cut, is_consistent_gcp
+from repro.core import run_chandy_lamport
+from repro.types import SimulationError
+from repro.workloads import RandomUniformWorkload, RingWorkload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_chandy_lamport(
+        RandomUniformWorkload(send_rate=2.0),
+        n=4,
+        duration=80.0,
+        seed=5,
+        snapshot_period=15.0,
+    )
+
+
+class TestSnapshots:
+    def test_snapshots_complete(self, result):
+        # 80/15 -> initiations at 15..75: five snapshots.
+        assert len(result.snapshots) == 5
+
+    def test_every_cut_is_consistent(self, result):
+        for snap in result.snapshots:
+            assert set(snap.cut) == {0, 1, 2, 3}
+            assert is_consistent_gcp(result.history, snap.cut), snap.snapshot_id
+
+    def test_cuts_advance_monotonically(self, result):
+        for a, b in zip(result.snapshots, result.snapshots[1:]):
+            assert all(a.cut[p] <= b.cut[p] for p in a.cut)
+
+    def test_channel_states_capture_exactly_the_crossing_messages(self, result):
+        for snap in result.snapshots:
+            expected = {
+                m.msg_id for m in in_transit_of_cut(result.history, snap.cut)
+            }
+            assert snap.in_transit_ids() == expected, snap.snapshot_id
+
+    def test_channel_states_cover_all_ordered_pairs(self, result):
+        for snap in result.snapshots:
+            assert len(snap.channel_states) == 4 * 3
+
+
+class TestControlCost:
+    def test_marker_count(self, result):
+        # n(n-1) markers per snapshot; all five completed.
+        assert result.control_messages == 5 * 4 * 3
+        assert result.metrics.control_messages == result.control_messages
+
+    def test_cic_has_no_control_messages_by_construction(self):
+        # The contrast the paper draws: CIC piggybacks, never sends.
+        from repro.sim import Simulation, SimulationConfig
+        from repro.workloads import RandomUniformWorkload as W
+
+        sim = Simulation(W(), SimulationConfig(n=3, duration=20, seed=0))
+        res = sim.run("bhmr")
+        assert res.metrics.control_messages == 0
+
+
+class TestRunnerBehaviour:
+    def test_deterministic(self):
+        a = run_chandy_lamport(RingWorkload(), n=3, duration=30, seed=9)
+        b = run_chandy_lamport(RingWorkload(), n=3, duration=30, seed=9)
+        assert [s.cut for s in a.snapshots] == [s.cut for s in b.snapshots]
+
+    def test_needs_two_processes(self):
+        with pytest.raises(SimulationError):
+            run_chandy_lamport(RingWorkload(), n=1, duration=10, seed=0)
+
+    def test_no_snapshot_when_period_exceeds_duration(self):
+        res = run_chandy_lamport(
+            RingWorkload(), n=3, duration=10, seed=0, snapshot_period=50.0
+        )
+        assert res.snapshots == []
+
+    def test_history_validates_and_has_app_traffic(self, result):
+        assert result.history.num_messages() > 50
+        assert result.metrics.messages_delivered > 50

@@ -1,0 +1,206 @@
+"""BCS index-based protocol tests: Z-cycle freedom without RDT."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import check_rdt, is_consistent_gcp, useless_checkpoints
+from repro.core import BCSProtocol, bcs_index_cut, max_index, protocol_factory
+from repro.core.index_based import IndexPiggyback
+from repro.core.piggyback import TDVPiggyback
+from repro.sim import Simulation, SimulationConfig, replay
+from repro.types import ProtocolError
+from repro.workloads import RandomUniformWorkload
+
+from tests.test_property_hypothesis import build_trace, trace_inputs
+
+
+class TestMechanics:
+    def test_initial_index_zero(self):
+        p = BCSProtocol(0, 2)
+        assert p.sn == 0 and p.labels == [0]
+
+    def test_basic_checkpoint_increments(self):
+        p = BCSProtocol(0, 2)
+        p.on_checkpoint()
+        assert p.sn == 1 and p.labels == [0, 1]
+
+    def test_greater_index_forces(self):
+        p = BCSProtocol(0, 2)
+        assert p.wants_forced_checkpoint(IndexPiggyback(sn=1), sender=1)
+        assert not p.wants_forced_checkpoint(IndexPiggyback(sn=0), sender=1)
+
+    def test_adoption_after_forced(self):
+        p = BCSProtocol(0, 2)
+        pb = IndexPiggyback(sn=3)
+        assert p.wants_forced_checkpoint(pb, sender=1)
+        p.on_checkpoint(forced=True)
+        p.on_receive(pb, sender=1)
+        assert p.sn == 3
+        # The forced checkpoint is labelled with the adopted index.
+        assert p.labels == [0, 3]
+        # Next arrival with the same index does not force again.
+        assert not p.wants_forced_checkpoint(pb, sender=1)
+
+    def test_piggyback_is_one_index(self):
+        p = BCSProtocol(0, 4)
+        pb = p.on_send(1)
+        assert isinstance(pb, IndexPiggyback) and pb.size_bits() == 32
+
+    def test_wrong_piggyback_rejected(self):
+        p = BCSProtocol(0, 2)
+        with pytest.raises(ProtocolError):
+            p.wants_forced_checkpoint(TDVPiggyback(tdv=(0, 0)), sender=1)
+
+
+def bcs_run(seed=0, duration=40.0, n=4):
+    sim = Simulation(
+        RandomUniformWorkload(send_rate=2.0),
+        SimulationConfig(n=n, duration=duration, seed=seed, basic_rate=0.4),
+    )
+    return sim.run("bcs")
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_z_cycle_freedom(self, seed):
+        res = bcs_run(seed=seed)
+        assert useless_checkpoints(res.history) == []
+
+    def test_rdt_not_guaranteed(self):
+        violated = sum(
+            0 if check_rdt(bcs_run(seed=seed).history).holds else 1
+            for seed in range(5)
+        )
+        assert violated >= 3  # dense traffic: hidden dependencies persist
+
+    def test_index_cuts_are_consistent(self):
+        res = bcs_run(seed=1)
+        top = max_index(res.family)
+        assert top >= 2
+        for q in range(1, top + 1):
+            cut = bcs_index_cut(res.family, q, res.history)
+            assert is_consistent_gcp(res.history, cut), q
+
+    def test_index_cuts_advance(self):
+        res = bcs_run(seed=1)
+        top = max_index(res.family)
+        prev = None
+        for q in range(1, top + 1):
+            cut = bcs_index_cut(res.family, q, res.history)
+            if prev is not None:
+                assert all(cut[p] >= prev[p] for p in cut)
+            prev = cut
+
+    def test_index_cut_argument_validation(self):
+        res = bcs_run(seed=0)
+        with pytest.raises(ProtocolError):
+            bcs_index_cut(res.family, 0, res.history)
+
+    def test_forces_less_than_rdt_family(self):
+        """The price of RDT: BCS (weaker guarantee) forces fewer
+        checkpoints than any RDT-ensuring protocol on the same traces."""
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=2.0),
+            SimulationConfig(n=4, duration=40.0, seed=3, basic_rate=0.4),
+        )
+        results = sim.compare(["bcs", "bhmr", "fdas"])
+        forced = {k: v.metrics.forced_checkpoints for k, v in results.items()}
+        assert forced["bcs"] <= forced["bhmr"] <= forced["fdas"]
+
+
+class TestPropertyZCF:
+    @given(trace_inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_bcs_never_leaves_useless_checkpoints(self, inputs):
+        n, ops = inputs
+        trace = build_trace(n, ops)
+        result = replay(trace, protocol_factory("bcs"))
+        assert useless_checkpoints(result.history) == []
+
+    @given(trace_inputs, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_index_cuts_consistent_on_arbitrary_traces(self, inputs, q):
+        n, ops = inputs
+        trace = build_trace(n, ops)
+        result = replay(trace, protocol_factory("bcs"))
+        cut = bcs_index_cut(result.family, q, result.history)
+        assert is_consistent_gcp(result.history, cut)
+
+
+class TestLazyBCS:
+    def test_laziness_one_equals_bcs(self):
+        from repro.core import lazy_factory
+        from repro.sim import replay as sim_replay
+        from repro.sim import generate_trace
+
+        trace = generate_trace(
+            4, RandomUniformWorkload(send_rate=2.0), duration=30, seed=7,
+            basic_rate=0.4,
+        )
+        plain = replay(trace, protocol_factory("bcs"))
+        lazy1 = sim_replay(trace, lazy_factory(1))
+        assert (
+            plain.metrics.forced_checkpoints == lazy1.metrics.forced_checkpoints
+        )
+
+    def test_laziness_reduces_forcing(self):
+        from repro.core import lazy_factory
+        from repro.sim import generate_trace
+
+        trace = generate_trace(
+            4, RandomUniformWorkload(send_rate=2.0), duration=40, seed=8,
+            basic_rate=0.5,
+        )
+        forced = {}
+        for z in (1, 2, 4, 8):
+            forced[z] = replay(trace, lazy_factory(z)).metrics.forced_checkpoints
+        assert forced[1] >= forced[2] >= forced[4] >= forced[8]
+        assert forced[8] < forced[1]
+
+    def test_epoch_boundary_cuts_consistent(self):
+        from repro.core import bcs_index_cut, lazy_factory, max_index
+        from repro.sim import generate_trace
+
+        z = 3
+        trace = generate_trace(
+            4, RandomUniformWorkload(send_rate=2.0), duration=40, seed=9,
+            basic_rate=0.5,
+        )
+        result = replay(trace, lazy_factory(z))
+        top = max_index(result.family)
+        boundaries = [q for q in range(z, top + 1, z)]
+        assert boundaries
+        for q in boundaries:
+            cut = bcs_index_cut(result.family, q, result.history)
+            assert is_consistent_gcp(result.history, cut), q
+
+    def test_within_epoch_guarantee_lost(self):
+        """With Z > 1 some run exhibits useless checkpoints (the
+        guarantee BCS had is genuinely given up, not just unexercised)."""
+        from repro.core import lazy_factory
+        from repro.sim import generate_trace
+
+        found = False
+        for seed in range(12):
+            trace = generate_trace(
+                4, RandomUniformWorkload(send_rate=2.5), duration=40,
+                seed=seed, basic_rate=0.6,
+            )
+            result = replay(trace, lazy_factory(6))
+            if useless_checkpoints(result.history):
+                found = True
+                break
+        assert found
+
+    def test_bad_laziness_rejected(self):
+        from repro.core import LazyBCSProtocol
+
+        with pytest.raises(ProtocolError):
+            LazyBCSProtocol(0, 2, laziness=0)
+
+    def test_registry_default(self):
+        from repro.core import make_protocol
+
+        proto = make_protocol("bcs-lazy", 0, 3)
+        assert proto.laziness == 4 and not proto.ensures_zcf

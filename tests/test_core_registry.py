@@ -1,0 +1,87 @@
+"""Registry and metrics plumbing tests."""
+
+import pytest
+
+from repro.analysis import RunMetrics, forced_ratio, metrics_from_history
+from repro.core import (
+    PROTOCOLS,
+    RDT_FAMILY,
+    make_family,
+    make_protocol,
+    protocol_class,
+    protocol_factory,
+)
+from repro.events import figure1_pattern
+from repro.types import ProtocolError
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in PROTOCOLS:
+            proto = make_protocol(name, 0, 3)
+            assert proto.name == name
+
+    def test_rdt_family_subset_and_flagged(self):
+        for name in RDT_FAMILY:
+            assert name in PROTOCOLS
+            assert protocol_class(name).ensures_rdt
+
+    def test_independent_not_in_rdt_family(self):
+        assert "independent" not in RDT_FAMILY
+        assert not protocol_class("independent").ensures_rdt
+
+    def test_unknown_name_rejected_with_hint(self):
+        with pytest.raises(ProtocolError, match="known:"):
+            protocol_class("nope")
+
+    def test_family_builder(self):
+        family = make_family("bhmr", 4)
+        assert family.n == 4 and family.name == "bhmr"
+        assert [p.pid for p in family.members] == [0, 1, 2, 3]
+
+    def test_factory_closure(self):
+        factory = protocol_factory("fdas")
+        assert factory(1, 3).pid == 1
+
+
+class TestMetrics:
+    def test_extraction_from_figure1(self):
+        m = metrics_from_history(figure1_pattern(), protocol="x")
+        assert m.num_processes == 3
+        assert m.messages_delivered == 7
+        assert m.initial_checkpoints == 3
+        assert m.basic_checkpoints == 9
+        assert m.total_checkpoints == 12
+
+    def test_forced_per_message(self):
+        m = RunMetrics(
+            protocol="p", num_processes=2, messages_delivered=10,
+            messages_in_transit=0, basic_checkpoints=1, forced_checkpoints=5,
+            initial_checkpoints=2, final_checkpoints=0,
+        )
+        assert m.forced_per_message == 0.5
+
+    def test_zero_messages_edge(self):
+        m = RunMetrics(
+            protocol="p", num_processes=2, messages_delivered=0,
+            messages_in_transit=0, basic_checkpoints=0, forced_checkpoints=0,
+            initial_checkpoints=2, final_checkpoints=0,
+        )
+        assert m.forced_per_message == 0.0
+        assert m.piggyback_bits_per_message == 0.0
+
+    def test_forced_ratio(self):
+        kw = dict(
+            num_processes=2, messages_delivered=1, messages_in_transit=0,
+            basic_checkpoints=0, initial_checkpoints=2, final_checkpoints=0,
+        )
+        a = RunMetrics(protocol="a", forced_checkpoints=3, **kw)
+        b = RunMetrics(protocol="b", forced_checkpoints=6, **kw)
+        z = RunMetrics(protocol="z", forced_checkpoints=0, **kw)
+        assert forced_ratio(a, b) == 0.5
+        assert forced_ratio(a, z) is None
+
+    def test_as_row_fields(self):
+        m = metrics_from_history(figure1_pattern(), protocol="x")
+        row = m.as_row()
+        assert row["protocol"] == "x" and row["messages"] == 7

@@ -1,0 +1,115 @@
+"""Unit tests for PatternBuilder and the random pattern generators."""
+
+import pytest
+
+from repro.events import (
+    PatternBuilder,
+    figure1_pattern,
+    ping_pong_domino_pattern,
+    random_pattern,
+    validate_history,
+)
+from repro.types import PatternError
+
+
+class TestPatternBuilder:
+    def test_initial_checkpoints_created(self):
+        h = PatternBuilder(3).build()
+        for pid in range(3):
+            assert h.last_index(pid) == 0
+            assert h.events(pid)[0].is_checkpoint
+
+    def test_send_then_deliver(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.deliver(m)
+        h = b.build()
+        msg = h.message(m)
+        assert msg.src == 0 and msg.dst == 1 and msg.delivered
+
+    def test_transmit_is_send_plus_deliver(self):
+        b = PatternBuilder(2)
+        m = b.transmit(0, 1)
+        h = b.build()
+        assert h.message(m).delivered
+
+    def test_deliver_twice_rejected(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.deliver(m)
+        with pytest.raises(PatternError):
+            b.deliver(m)
+
+    def test_deliver_unknown_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder(2).deliver(42)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder(2).send(0, 0)
+
+    def test_bad_pid_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder(2).checkpoint(5)
+
+    def test_checkpoint_indices_increment(self):
+        b = PatternBuilder(1)
+        assert b.checkpoint(0) == 1
+        assert b.checkpoint(0) == 2
+
+    def test_checkpoint_all(self):
+        b = PatternBuilder(3)
+        b.checkpoint_all()
+        h = b.build()
+        assert all(h.last_index(p) == 1 for p in range(3))
+
+    def test_times_strictly_increase_globally(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.internal(1)
+        b.deliver(m)
+        h = b.build()
+        evs = h.events_by_time()
+        times = [e.time for e in evs]
+        assert len(set(times)) == len(times)
+
+    def test_built_history_validates(self):
+        h = figure1_pattern()
+        validate_history(h)  # should not raise
+
+
+class TestRandomPattern:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_patterns_validate(self, seed):
+        h = random_pattern(n=4, steps=80, seed=seed)
+        validate_history(h)
+        assert h.is_closed()
+
+    def test_deterministic_for_seed(self):
+        h1 = random_pattern(n=3, steps=50, seed=7)
+        h2 = random_pattern(n=3, steps=50, seed=7)
+        assert [e.ref for e in h1.events_by_time()] == [
+            e.ref for e in h2.events_by_time()
+        ]
+
+    def test_open_variant(self):
+        h = random_pattern(n=3, steps=50, seed=1, close=False)
+        validate_history(h)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            random_pattern(p_send=0, p_deliver=0, p_checkpoint=0)
+
+
+class TestDominoPattern:
+    def test_shape(self):
+        h = ping_pong_domino_pattern(rounds=3)
+        assert h.num_processes == 2
+        assert h.num_messages() == 6
+        validate_history(h)
+
+    def test_each_round_adds_one_checkpoint_per_process(self):
+        h = ping_pong_domino_pattern(rounds=5)
+        # P0: 5 round checkpoints (+ initial + possibly final).
+        assert h.last_index(0) >= 5
+        assert h.last_index(1) >= 5

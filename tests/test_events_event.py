@@ -1,0 +1,71 @@
+"""Unit tests for the event/message value objects."""
+
+import pytest
+
+from repro.events import CheckpointKind, Event, EventKind, Message
+from repro.types import CheckpointId
+
+
+class TestCheckpointId:
+    def test_ordering_is_lexicographic(self):
+        assert CheckpointId(0, 5) < CheckpointId(1, 0)
+        assert CheckpointId(1, 0) < CheckpointId(1, 1)
+
+    def test_repr_reads_like_the_paper(self):
+        assert repr(CheckpointId(2, 3)) == "C(2,3)"
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            CheckpointId(-1, 0)
+        with pytest.raises(ValueError):
+            CheckpointId(0, -1)
+
+    def test_interval_conventions(self):
+        cid = CheckpointId(1, 4)
+        assert cid.interval_before == 4
+        assert cid.interval_after == 5
+
+    def test_hashable_and_equal_by_value(self):
+        assert CheckpointId(1, 2) == CheckpointId(1, 2)
+        assert len({CheckpointId(1, 2), CheckpointId(1, 2)}) == 1
+
+
+class TestEvent:
+    def test_kind_predicates(self):
+        send = Event(0, 1, EventKind.SEND, 1.0, msg_id=7)
+        assert send.is_send and not send.is_deliver and not send.is_checkpoint
+        dlv = Event(1, 1, EventKind.DELIVER, 2.0, msg_id=7)
+        assert dlv.is_deliver
+        ck = Event(
+            0, 2, EventKind.CHECKPOINT, 3.0,
+            checkpoint_index=1, checkpoint_kind=CheckpointKind.BASIC,
+        )
+        assert ck.is_checkpoint
+
+    def test_ref_is_pid_seq(self):
+        ev = Event(3, 9, EventKind.INTERNAL, 4.5)
+        assert ev.ref == (3, 9)
+
+    def test_events_are_immutable(self):
+        ev = Event(0, 0, EventKind.INTERNAL, 0.0)
+        with pytest.raises(AttributeError):
+            ev.pid = 1  # type: ignore[misc]
+
+    def test_reprs_are_informative(self):
+        ck = Event(
+            0, 2, EventKind.CHECKPOINT, 3.0,
+            checkpoint_index=1, checkpoint_kind=CheckpointKind.FORCED,
+        )
+        assert "C(0,1)" in repr(ck) and "forced" in repr(ck)
+        send = Event(0, 1, EventKind.SEND, 1.0, msg_id=7)
+        assert "m7" in repr(send)
+
+
+class TestMessage:
+    def test_delivered_flag(self):
+        assert not Message(0, 0, 1, send_seq=1).delivered
+        assert Message(0, 0, 1, send_seq=1, deliver_seq=4).delivered
+
+    def test_repr_shows_transit_state(self):
+        assert "in-transit" in repr(Message(0, 0, 1, send_seq=1))
+        assert "dlv@4" in repr(Message(0, 0, 1, send_seq=1, deliver_seq=4))

@@ -1,0 +1,191 @@
+"""Unit tests for History: intervals, checkpoints, closing, accessors."""
+
+import pytest
+
+from repro.events import (
+    CheckpointKind,
+    EventKind,
+    PatternBuilder,
+    figure1_pattern,
+    validate_history,
+)
+from repro.types import CheckpointId, PatternError
+
+
+@pytest.fixture
+def fig1():
+    return figure1_pattern()
+
+
+class TestBasicAccessors:
+    def test_figure1_shape(self, fig1):
+        assert fig1.num_processes == 3
+        assert fig1.num_messages() == 7
+        # Every process took C(p,0..3).
+        for pid in range(3):
+            assert fig1.last_index(pid) == 3
+        assert fig1.num_checkpoints() == 12
+
+    def test_checkpoint_ids_enumeration(self, fig1):
+        ids = list(fig1.checkpoint_ids())
+        assert len(ids) == 12
+        assert ids[0] == CheckpointId(0, 0)
+        assert ids == sorted(ids)
+
+    def test_checkpoint_event_roundtrip(self, fig1):
+        ev = fig1.checkpoint_event(CheckpointId(1, 2))
+        assert ev.is_checkpoint and ev.checkpoint_index == 2 and ev.pid == 1
+
+    def test_checkpoint_event_missing_raises(self, fig1):
+        with pytest.raises(PatternError):
+            fig1.checkpoint_event(CheckpointId(0, 99))
+
+    def test_has_checkpoint(self, fig1):
+        assert fig1.has_checkpoint(CheckpointId(2, 3))
+        assert not fig1.has_checkpoint(CheckpointId(2, 4))
+
+    def test_events_by_time_sorted_and_complete(self, fig1):
+        evs = fig1.events_by_time()
+        assert len(evs) == sum(len(fig1.events(p)) for p in range(3))
+        times = [e.time for e in evs]
+        assert times == sorted(times)
+
+
+class TestIntervals:
+    def test_interval_of_checkpoint_is_its_index(self, fig1):
+        ev = fig1.checkpoint_event(CheckpointId(0, 2))
+        assert fig1.interval_of(ev) == 2
+
+    def test_figure1_message_intervals(self, fig1):
+        names = fig1.figure_names
+        intervals = {
+            "m1": (1, 1),  # I(i,1) -> I(j,1)
+            "m2": (1, 2),  # I(j,1) -> I(i,2)
+            "m3": (1, 1),  # I(k,1) -> I(j,1)
+            "m4": (2, 2),  # I(j,2) -> I(k,2)
+            "m5": (3, 2),  # I(i,3) -> I(j,2)
+            "m6": (3, 2),  # I(j,3) -> I(k,2)
+            "m7": (3, 3),  # I(k,3) -> I(j,3)
+        }
+        for name, (send_iv, dlv_iv) in intervals.items():
+            m = fig1.message(names[name])
+            assert fig1.send_interval(m) == send_iv, name
+            assert fig1.deliver_interval(m) == dlv_iv, name
+
+    def test_messages_sent_in_interval(self, fig1):
+        names = fig1.figure_names
+        sent = fig1.messages_sent_in(0, 3)  # P_i interval 3
+        assert {m.msg_id for m in sent} == {names["m5"]}
+
+    def test_messages_delivered_in_interval(self, fig1):
+        names = fig1.figure_names
+        got = fig1.messages_delivered_in(2, 2)  # P_k interval 2
+        assert {m.msg_id for m in got} == {names["m4"], names["m6"]}
+
+    def test_open_interval_index(self, fig1):
+        assert fig1.open_interval(0) == 4
+
+
+class TestClosing:
+    def test_closed_history_is_recognised(self, fig1):
+        assert fig1.is_closed()
+        assert fig1.closed() is fig1
+
+    def test_open_events_get_final_checkpoint(self):
+        b = PatternBuilder(2)
+        b.transmit(0, 1)
+        b.checkpoint(0)
+        b.internal(1)  # P1 never checkpoints again: open interval
+        h = b.build()
+        assert not h.is_closed()
+        closed = h.closed()
+        assert closed.is_closed()
+        assert closed.last_index(1) == 1
+        final = closed.checkpoint_event(CheckpointId(1, 1))
+        assert final.checkpoint_kind is CheckpointKind.FINAL
+        validate_history(closed)
+
+    def test_in_transit_messages_do_not_block_closedness(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)  # never delivered
+        b.checkpoint(0)
+        h = b.build()
+        # P0 ends with C(0,1), P1 has no events after C(1,0): closed even
+        # though m is still in transit (it induces no dependencies).
+        assert h.is_closed()
+        assert not h.message(m).delivered
+
+    def test_closing_keeps_in_transit_messages(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)  # never delivered: the send leaves I(0,1) open
+        h = b.build()
+        assert not h.is_closed()
+        closed = h.closed()
+        assert closed.num_messages() == 1
+        assert not closed.message(m).delivered
+        assert closed.is_closed()
+        validate_history(closed)
+
+    def test_closing_preserves_existing_events(self, fig1):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.deliver(m)
+        h = b.build()
+        closed = h.closed()
+        assert closed.event(0, 1).is_send
+        assert closed.message(m).delivered
+
+
+class TestCounts:
+    def test_checkpoint_counts_by_kind(self):
+        b = PatternBuilder(2)
+        b.checkpoint(0)
+        b.checkpoint(0, kind=CheckpointKind.FORCED)
+        b.checkpoint(1)
+        h = b.build()
+        assert h.checkpoint_counts(CheckpointKind.INITIAL) == [1, 1]
+        assert h.checkpoint_counts(CheckpointKind.BASIC) == [1, 1]
+        assert h.checkpoint_counts(CheckpointKind.FORCED) == [1, 0]
+
+    def test_in_transit_enumeration(self):
+        b = PatternBuilder(2)
+        kept = b.send(0, 1)
+        lost = b.send(0, 1)
+        b.deliver(kept)
+        h = b.build()
+        assert [m.msg_id for m in h.in_transit_messages()] == [lost]
+        assert [m.msg_id for m in h.delivered_messages()] == [kept]
+
+    def test_restrict_events_rollback_cut(self, fig1):
+        survived = list(fig1.restrict_events({0: 1, 1: 1, 2: 1}))
+        # Each process keeps everything up to its C(p,1).
+        for ev in survived:
+            if ev.is_checkpoint:
+                assert ev.checkpoint_index <= 1
+        pids = {ev.pid for ev in survived}
+        assert pids == {0, 1, 2}
+
+
+class TestErrors:
+    def test_zero_processes_rejected(self):
+        with pytest.raises(PatternError):
+            PatternBuilder(0)
+
+    def test_history_requires_initial_checkpoints(self):
+        from repro.events.event import Event
+        from repro.events.history import History
+
+        bad = [[Event(0, 0, EventKind.INTERNAL, 1.0)]]
+        with pytest.raises(PatternError):
+            History(bad, {})
+
+
+class TestMergeCounts:
+    def test_merge_event_counts(self):
+        from repro.events.history import merge_event_counts
+
+        h = figure1_pattern()
+        totals = merge_event_counts([h, h])
+        assert totals["messages"] == 14
+        assert totals["checkpoints"] == 24
+        assert totals["events"] == 2 * sum(len(h.events(p)) for p in range(3))

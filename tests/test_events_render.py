@@ -1,0 +1,62 @@
+"""Space-time renderer tests."""
+
+from repro.events import (
+    PatternBuilder,
+    figure1_pattern,
+    render_cut,
+    render_space_time,
+)
+
+
+class TestSpaceTime:
+    def test_one_lane_per_process(self):
+        text = render_space_time(figure1_pattern())
+        lanes = [line for line in text.splitlines() if line.startswith("P")]
+        assert len(lanes) == 3
+
+    def test_checkpoints_and_messages_shown(self):
+        text = render_space_time(figure1_pattern())
+        assert "[0]" in text and "[3]" in text
+        assert "s0" in text and "r0" in text
+
+    def test_legend(self):
+        text = render_space_time(figure1_pattern())
+        assert "messages:" in text and "m6: P2->P1" in text
+
+    def test_legend_marks_in_transit(self):
+        b = PatternBuilder(2)
+        b.send(0, 1)
+        text = render_space_time(b.build())
+        assert "(in transit)" in text
+
+    def test_legend_suppressible(self):
+        text = render_space_time(figure1_pattern(), show_legend=False)
+        assert "messages:" not in text
+
+    def test_max_width_truncates(self):
+        text = render_space_time(figure1_pattern(), max_width=30)
+        for line in text.splitlines():
+            if line.startswith("P"):
+                assert len(line) <= 30 and line.endswith("...")
+
+    def test_empty_history(self):
+        text = render_space_time(PatternBuilder(2).build())
+        assert text.count("[0]") == 2
+
+    def test_internal_events_marked(self):
+        b = PatternBuilder(1)
+        b.internal(0)
+        assert "*" in render_space_time(b.build())
+
+    def test_send_left_of_delivery(self):
+        text = render_space_time(figure1_pattern())
+        lanes = [line for line in text.splitlines() if line.startswith("P")]
+        # m0 is sent by P0 and delivered by P1: column of s0 < column of r0.
+        assert lanes[0].index("s0") < lanes[1].index("r0")
+
+
+class TestCutRendering:
+    def test_render_cut(self):
+        text = render_cut(figure1_pattern(), {0: 1, 1: 1, 2: 1}, label="line")
+        assert text.startswith("line:")
+        assert "P2@C(2,1)" in text

@@ -1,0 +1,113 @@
+"""R-graph construction and reachability, anchored on the paper's Figure 1."""
+
+import pytest
+
+from repro.events import PatternBuilder, figure1_pattern, random_pattern
+from repro.graph import RGraph, ZPathAnalyzer
+from repro.types import CheckpointId as C
+
+
+@pytest.fixture
+def fig1():
+    return figure1_pattern()
+
+
+@pytest.fixture
+def rg(fig1):
+    return RGraph(fig1)
+
+
+I, J, K = 0, 1, 2
+
+
+class TestFigure1Edges:
+    def test_node_count(self, rg):
+        assert rg.num_nodes() == 12
+
+    def test_succession_edges(self, rg):
+        for pid in range(3):
+            for x in range(3):
+                assert C(pid, x + 1) in rg.successors(C(pid, x))
+
+    def test_message_edges_match_figure(self, rg):
+        expected = {
+            (C(I, 1), C(J, 1)),  # m1
+            (C(J, 1), C(I, 2)),  # m2
+            (C(K, 1), C(J, 1)),  # m3
+            (C(J, 2), C(K, 2)),  # m4
+            (C(I, 3), C(J, 2)),  # m5
+            (C(J, 3), C(K, 2)),  # m6
+            (C(K, 3), C(J, 3)),  # m7
+        }
+        message_edges = {
+            (a, b) for a, b in rg.edges() if a.pid != b.pid
+        }
+        assert message_edges == expected
+
+    def test_rollback_propagation_reading(self, rg):
+        # m2's edge: rolling P_j before C(j,1) forces P_i before C(i,2).
+        assert rg.has_rpath(C(J, 1), C(I, 2))
+
+    def test_hidden_dependency_path_exists(self, rg):
+        # The non-causal chain [m3, m2] appears as the R-path
+        # C(k,1) -> C(j,1) -> C(i,2).
+        assert rg.has_rpath(C(K, 1), C(I, 2))
+
+    def test_trivial_rpath(self, rg):
+        assert rg.has_rpath(C(I, 2), C(I, 2))
+        assert not rg.reaches_strictly(C(I, 2), C(I, 2))
+
+    def test_cycle_of_figure1(self, rg):
+        # m6/m7 close the cycle C(j,3) -> C(k,2) -> C(k,3) -> C(j,3).
+        cycles = rg.cycles()
+        assert cycles == [[C(J, 3), C(K, 2), C(K, 3)]]
+        assert rg.on_cycle(C(K, 2))
+        assert not rg.on_cycle(C(I, 2))
+
+    def test_backward_rpath_from_cycle(self, rg):
+        # C(k,3) reaches C(k,2): an R-path going *back* in process order.
+        assert rg.reaches_strictly(C(K, 3), C(K, 2))
+
+    def test_predecessors(self, rg):
+        assert rg.predecessors(C(K, 2)) == {C(K, 1), C(J, 2), C(J, 3)}
+
+    def test_to_networkx_roundtrip(self, rg):
+        g = rg.to_networkx()
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == rg.num_edges()
+
+
+class TestVolatileNodes:
+    def test_open_interval_gets_virtual_node(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.deliver(m)  # both processes' activity stays in open intervals
+        h = b.build()
+        rg = RGraph(h, include_volatile=True)
+        assert rg.has_node(C(0, 1)) and rg.has_node(C(1, 1))
+        assert rg.is_volatile(C(0, 1))
+        assert rg.has_rpath(C(0, 1), C(1, 1))
+
+    def test_without_volatile_edge_is_dropped(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.deliver(m)
+        h = b.build()
+        rg = RGraph(h)
+        assert rg.num_nodes() == 2  # only the initial checkpoints
+        assert not rg.reaches_strictly(C(0, 0), C(1, 0))
+
+
+class TestRGraphVsZigzag:
+    """Wang's theorem: strict R-graph reachability == zigzag existence."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalence_on_random_patterns(self, seed):
+        h = random_pattern(n=3, steps=70, seed=seed)
+        rg = RGraph(h)
+        analyzer = ZPathAnalyzer(h)
+        for a in h.checkpoint_ids():
+            reach = analyzer.reach(a, causal=False, exact_start=False)
+            for b in h.checkpoint_ids():
+                via_chain = reach.reaches(b) or (a.pid == b.pid and a.index < b.index)
+                assert rg.reaches_strictly(a, b) == via_chain, (a, b)

@@ -1,0 +1,177 @@
+"""Message-chain engine tests: chains, causality, siblings, simple chains.
+
+Anchored on the paper's Figure 1 (section 3.2's worked examples) plus
+dedicated mini-patterns for Figure 5 (simple vs non-simple chains).
+"""
+
+import pytest
+
+from repro.events import PatternBuilder, figure1_pattern
+from repro.graph import ZPathAnalyzer
+from repro.types import CheckpointId as C
+from repro.types import PatternError
+
+I, J, K = 0, 1, 2
+
+
+@pytest.fixture
+def fig1():
+    return figure1_pattern()
+
+
+@pytest.fixture
+def za(fig1):
+    return ZPathAnalyzer(fig1)
+
+
+@pytest.fixture
+def names(fig1):
+    return fig1.figure_names
+
+
+class TestChainValidity:
+    def test_single_message_is_a_chain(self, za, names):
+        assert za.is_chain([names["m1"]])
+        assert za.is_causal_chain([names["m1"]])
+
+    def test_m3_m2_is_a_chain(self, za, names):
+        assert za.is_chain([names["m3"], names["m2"]])
+
+    def test_m3_m2_is_non_causal(self, za, names):
+        # send(m2) precedes deliver(m3) at P_j.
+        assert not za.is_causal_chain([names["m3"], names["m2"]])
+
+    def test_m2_m5_is_causal(self, za, names):
+        assert za.is_causal_chain([names["m2"], names["m5"]])
+
+    def test_m5_m4_non_causal_m5_m6_causal(self, za, names):
+        assert za.is_chain([names["m5"], names["m4"]])
+        assert not za.is_causal_chain([names["m5"], names["m4"]])
+        assert za.is_causal_chain([names["m5"], names["m6"]])
+
+    def test_paper_long_chain_decomposition(self, za, names):
+        chain = [names[x] for x in ("m3", "m2", "m5", "m4", "m7")]
+        assert za.is_chain(chain)
+        assert not za.is_causal_chain(chain)
+        # Its causal sub-chains, as listed in section 3.2.
+        assert za.is_causal_chain([names["m3"]])
+        assert za.is_causal_chain([names["m2"], names["m5"]])
+        assert za.is_causal_chain([names["m4"], names["m7"]])
+
+    def test_wrong_process_junction_rejected(self, za, names):
+        # m1 is delivered at P_j; m4 is sent by P_j -- fine.  m1 then m7
+        # (sent by P_k) is not a chain.
+        assert not za.is_chain([names["m1"], names["m7"]])
+
+    def test_checkpoint_crossing_junction_rejected(self, za, names):
+        # deliver(m5) is in I(j,2) but send(m2) is in I(j,1): 2 > 1.
+        assert not za.is_chain([names["m5"], names["m2"]])
+
+    def test_empty_is_not_a_chain(self, za):
+        assert not za.is_chain([])
+
+
+class TestChainEndpoints:
+    def test_endpoints_of_m3_m2(self, za, names):
+        a, b = za.chain_endpoints([names["m3"], names["m2"]])
+        assert (a, b) == (C(K, 1), C(I, 2))
+
+    def test_endpoints_of_m5_m4(self, za, names):
+        a, b = za.chain_endpoints([names["m5"], names["m4"]])
+        assert (a, b) == (C(I, 3), C(K, 2))
+
+    def test_invalid_chain_raises(self, za, names):
+        with pytest.raises(PatternError):
+            za.chain_endpoints([names["m1"], names["m7"]])
+
+
+class TestSiblings:
+    def test_m5_m6_is_causal_sibling_of_m5_m4(self, za, names):
+        sibs = za.causal_siblings([names["m5"], names["m4"]])
+        assert [names["m5"], names["m6"]] in sibs
+
+    def test_m3_m2_has_no_causal_sibling(self, za, names):
+        assert za.causal_siblings([names["m3"], names["m2"]]) == []
+
+
+class TestChainExistence:
+    def test_exact_chain_exists(self, za):
+        assert za.chain_exists(C(K, 1), C(I, 2), causal=False, exact=True)
+        assert not za.chain_exists(C(K, 1), C(I, 2), causal=True, exact=True)
+
+    def test_exact_vs_relaxed(self, za):
+        # Causal chain m1 goes C(i,1) -> C(j,1); relaxed start from C(i,0)
+        # still reaches C(j,1) (interval >= 0), exact start does not.
+        assert za.chain_exists(C(I, 0), C(J, 1), causal=True, exact=False)
+        assert not za.chain_exists(C(I, 0), C(J, 1), causal=True, exact=True)
+
+    def test_self_zigzag_of_figure1(self, za):
+        # [m7, m6] forms a chain C(k,3) -> C(k,2).
+        assert za.chain_exists(C(K, 3), C(K, 2), causal=False, exact=True)
+        assert not za.chain_exists(C(K, 3), C(K, 2), causal=True, exact=True)
+
+    def test_reach_object(self, za):
+        reach = za.reach(C(K, 1), causal=False)
+        assert reach.reaches(C(I, 2))
+        assert reach.reaches(C(J, 1))
+        assert not reach.reaches(C(I, 1))
+
+    def test_unknown_source_rejected(self, za):
+        with pytest.raises(PatternError):
+            za.reach(C(0, 99), causal=True)
+        with pytest.raises(PatternError):
+            za.reach(C(7, 0), causal=True)
+
+
+class TestEnumeration:
+    def test_enumerate_both_chains_to_ck2(self, za, names):
+        chains = za.enumerate_chains(C(I, 3), C(K, 2), max_len=3)
+        assert sorted(chains) == sorted(
+            [[names["m5"], names["m4"]], [names["m5"], names["m6"]]]
+        )
+
+    def test_enumerate_causal_only(self, za, names):
+        chains = za.enumerate_chains(C(I, 3), C(K, 2), causal=True, max_len=3)
+        assert chains == [[names["m5"], names["m6"]]]
+
+    def test_enumerate_non_causal_only(self, za, names):
+        chains = za.enumerate_chains(C(I, 3), C(K, 2), causal=False, max_len=3)
+        assert chains == [[names["m5"], names["m4"]]]
+
+
+class TestSimpleChains:
+    """Figure 5: simple vs non-simple causal message chains."""
+
+    @pytest.fixture
+    def simple_vs_nonsimple(self):
+        # P0 -> P1 -> P2 twice: once with the junction inside one interval
+        # (simple), once with a checkpoint between delivery and resend
+        # (causal but non-simple).
+        b = PatternBuilder(3)
+        s1 = b.send(0, 1)
+        b.deliver(s1)
+        s2 = b.send(1, 2)  # same interval as deliver(s1): simple junction
+        b.deliver(s2)
+        n1 = b.send(0, 1)
+        b.deliver(n1)
+        b.checkpoint(1)  # checkpoint splits the junction
+        n2 = b.send(1, 2)
+        b.deliver(n2)
+        h = b.build(close=True)
+        return h, (s1, s2), (n1, n2)
+
+    def test_simple_chain(self, simple_vs_nonsimple):
+        h, simple, _ = simple_vs_nonsimple
+        za = ZPathAnalyzer(h)
+        assert za.is_simple_chain(list(simple))
+
+    def test_non_simple_chain_is_still_causal(self, simple_vs_nonsimple):
+        h, _, nonsimple = simple_vs_nonsimple
+        za = ZPathAnalyzer(h)
+        assert za.is_causal_chain(list(nonsimple))
+        assert not za.is_simple_chain(list(nonsimple))
+
+    def test_single_message_is_simple(self, simple_vs_nonsimple):
+        h, simple, _ = simple_vs_nonsimple
+        za = ZPathAnalyzer(h)
+        assert za.is_simple_chain([simple[0]])

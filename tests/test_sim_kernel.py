@@ -1,0 +1,124 @@
+"""Kernel, delay model and channel tests."""
+
+import random
+
+import pytest
+
+from repro.sim import ChannelMap, Constant, Exponential, LogNormal, Scheduler, Uniform
+from repro.types import SimulationError
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        s = Scheduler()
+        log = []
+        s.schedule(2.0, lambda: log.append("b"))
+        s.schedule(1.0, lambda: log.append("a"))
+        s.schedule(3.0, lambda: log.append("c"))
+        s.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        s = Scheduler()
+        log = []
+        s.schedule(1.0, lambda: log.append(1))
+        s.schedule(1.0, lambda: log.append(2))
+        s.run()
+        assert log == [1, 2]
+
+    def test_now_advances(self):
+        s = Scheduler()
+        seen = []
+        s.schedule(5.0, lambda: seen.append(s.now))
+        end = s.run()
+        assert seen == [5.0] and end == 5.0
+
+    def test_until_bound(self):
+        s = Scheduler()
+        log = []
+        s.schedule(1.0, lambda: log.append(1))
+        s.schedule(10.0, lambda: log.append(2))
+        s.run(until=5.0)
+        assert log == [1]
+        assert s.pending() == 1
+
+    def test_max_events_bound(self):
+        s = Scheduler()
+
+        def rearm():
+            s.schedule(1.0, rearm)
+
+        s.schedule(1.0, rearm)
+        s.run(max_events=10)
+        assert s.events_processed == 10
+
+    def test_callbacks_can_schedule(self):
+        s = Scheduler()
+        log = []
+        s.schedule(1.0, lambda: s.schedule(1.0, lambda: log.append("nested")))
+        s.run()
+        assert log == ["nested"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        s = Scheduler()
+        s.schedule(5.0, lambda: None)
+        s.run()
+        with pytest.raises(SimulationError):
+            s.schedule_at(1.0, lambda: None)
+
+
+class TestDelays:
+    @pytest.mark.parametrize(
+        "model",
+        [Constant(0.7), Uniform(0.1, 0.5), Exponential(1.3), LogNormal(1.0, 0.4)],
+    )
+    def test_samples_positive(self, model):
+        rng = random.Random(1)
+        for _ in range(200):
+            assert model.sample(rng) > 0
+
+    def test_constant_is_constant(self):
+        rng = random.Random(1)
+        assert Constant(2.5).sample(rng) == 2.5
+
+    def test_exponential_mean_roughly_right(self):
+        rng = random.Random(7)
+        model = Exponential(mean=2.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert 1.8 < sum(samples) / len(samples) < 2.2
+
+    def test_deterministic_given_seed(self):
+        a = Exponential(1.0).sample(random.Random(3))
+        b = Exponential(1.0).sample(random.Random(3))
+        assert a == b
+
+
+class TestChannels:
+    def test_arrival_after_send(self):
+        ch = ChannelMap(2, delay=Exponential(1.0))
+        rng = random.Random(0)
+        for _ in range(100):
+            assert ch.arrival_time(0, 1, 10.0, rng) > 10.0
+
+    def test_non_fifo_can_reorder(self):
+        ch = ChannelMap(2, delay=Uniform(0.1, 10.0), fifo=False)
+        rng = random.Random(4)
+        arrivals = [ch.arrival_time(0, 1, float(t), rng) for t in range(50)]
+        assert any(a > b for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_fifo_preserves_order(self):
+        ch = ChannelMap(2, delay=Uniform(0.1, 10.0), fifo=True)
+        rng = random.Random(4)
+        arrivals = [ch.arrival_time(0, 1, float(t), rng) for t in range(50)]
+        assert all(a < b for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_fifo_is_per_channel(self):
+        ch = ChannelMap(3, delay=Constant(1.0), fifo=True)
+        rng = random.Random(0)
+        a01 = ch.arrival_time(0, 1, 0.0, rng)
+        a02 = ch.arrival_time(0, 2, 0.0, rng)
+        assert a01 == pytest.approx(1.0) and a02 == pytest.approx(1.0)

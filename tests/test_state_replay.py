@@ -1,0 +1,191 @@
+"""State machine and recovery-replay engine tests.
+
+The headline property: from any recovery line, with sender logs, the
+re-executed system converges digest-for-digest to the original run;
+without logs, processes get stuck exactly on the in-transit messages.
+"""
+
+import pytest
+
+from repro.events import PatternBuilder, figure1_pattern
+from repro.recovery import build_sender_logs, recovery_line
+from repro.sim import Simulation, SimulationConfig
+from repro.state import (
+    ProcessStateMachine,
+    execute_recovery,
+    recovery_convergence_report,
+    run_state_machines,
+)
+from repro.analysis import in_transit_of_cut
+from repro.types import CheckpointId as C
+from repro.workloads import RandomUniformWorkload
+
+
+def simulated(seed=6, protocol="bhmr"):
+    sim = Simulation(
+        RandomUniformWorkload(send_rate=2.0),
+        SimulationConfig(n=3, duration=30.0, seed=seed, basic_rate=0.4),
+    )
+    return sim.run(protocol).history
+
+
+class TestStateMachine:
+    def test_determinism(self):
+        h = figure1_pattern()
+        a = run_state_machines(h)
+        b = run_state_machines(h)
+        assert a.final_digests == b.final_digests
+        assert a.checkpoint_digests == b.checkpoint_digests
+
+    def test_different_events_different_digests(self):
+        m1 = ProcessStateMachine(0)
+        m2 = ProcessStateMachine(0)
+        h = figure1_pattern()
+        m1.apply(h.events(0)[1])
+        assert m1.digest != m2.digest
+
+    def test_checkpoints_do_not_change_state(self):
+        m = ProcessStateMachine(0)
+        before = m.digest
+        m.apply(figure1_pattern().checkpoint_event(C(0, 1)))
+        assert m.digest == before
+
+    def test_initial_digests_differ_per_process(self):
+        assert ProcessStateMachine(0).digest != ProcessStateMachine(1).digest
+
+    def test_checkpoint_digest_is_prefix_state(self):
+        h = figure1_pattern()
+        trace = run_state_machines(h)
+        m = ProcessStateMachine(0)
+        ckpt = h.checkpoint_event(C(0, 2))
+        for ev in h.events(0):
+            if ev.seq >= ckpt.seq:
+                break
+            m.apply(ev)
+        assert trace.at(C(0, 2)) == m.snapshot()
+
+
+class TestRecoveryConvergence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovery_with_logs_converges(self, seed):
+        h = simulated(seed=seed)
+        logs = build_sender_logs(h)
+        line = recovery_line(h, [0])
+        outcome = execute_recovery(h, line.cut, logs)
+        assert outcome.converged, outcome
+
+    def test_recovery_from_initial_line_converges(self):
+        h = simulated()
+        logs = build_sender_logs(h)
+        cut = {pid: 0 for pid in range(3)}
+        outcome = execute_recovery(h, cut, logs)
+        assert outcome.converged
+        total_events = sum(len(h.events(p)) - 1 for p in range(3))
+        assert outcome.events_reexecuted == total_events
+
+    def test_without_logs_stuck_on_in_transit(self):
+        # Build a line guaranteed to be crossed by a message.
+        b = PatternBuilder(2)
+        b.checkpoint_all()  # C(.,1): the line
+        m = b.send(0, 1)
+        b.deliver(m)
+        b.checkpoint_all()
+        h = b.build(close=True)
+        cut = {0: 1, 1: 1}
+        outcome = execute_recovery(h, cut, logs=None)
+        assert outcome.converged  # m is regenerated: its send is re-run
+        # Now a line *after* the send but before the delivery.
+        b2 = PatternBuilder(2)
+        m2 = b2.send(0, 1)
+        b2.checkpoint_all()  # send inside the cut...
+        b2.deliver(m2)  # ...delivery after it: m2 crosses
+        b2.checkpoint_all()
+        h2 = b2.build(close=True)
+        outcome2 = execute_recovery(h2, {0: 1, 1: 1}, logs=None)
+        assert not outcome2.converged
+        assert outcome2.stuck == {1: m2}
+
+    def test_logs_unstick_the_crossing_message(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.checkpoint_all()
+        b.deliver(m)
+        b.checkpoint_all()
+        h = b.build(close=True)
+        logs = build_sender_logs(h)
+        outcome = execute_recovery(h, {0: 1, 1: 1}, logs)
+        assert outcome.converged and outcome.replayed_from_log == 1
+
+    def test_stuck_matches_in_transit_analysis(self):
+        h = simulated(seed=2)
+        line = recovery_line(h, [1])
+        outcome = execute_recovery(h, line.cut, logs=None)
+        crossing = {m.msg_id for m in in_transit_of_cut(h, line.cut) if m.delivered}
+        if crossing:
+            assert not outcome.converged
+            assert set(outcome.stuck.values()) <= crossing
+        else:
+            assert outcome.converged
+
+    def test_accounting_fields(self):
+        h = simulated(seed=3)
+        logs = build_sender_logs(h)
+        line = recovery_line(h, [0])
+        outcome = execute_recovery(h, line.cut, logs)
+        assert outcome.events_reexecuted >= outcome.regenerated
+        assert outcome.replayed_from_log == len(
+            [m for m in in_transit_of_cut(h, line.cut) if m.delivered]
+        )
+
+    def test_report_lines(self):
+        h = simulated(seed=1)
+        logs = build_sender_logs(h)
+        line = recovery_line(h, [0])
+        lines = recovery_convergence_report(h, line.cut, logs)
+        assert any("converged" in line for line in lines)
+
+    def test_report_when_stuck(self):
+        b = PatternBuilder(2)
+        m = b.send(0, 1)
+        b.checkpoint_all()
+        b.deliver(m)
+        b.checkpoint_all()
+        h = b.build(close=True)
+        lines = recovery_convergence_report(h, {0: 1, 1: 1}, None)
+        assert any("stuck" in line for line in lines)
+
+
+class TestConvergenceProperty:
+    """With sender logs, recovery from *any* consistent cut converges."""
+
+    def test_every_min_gcp_line_converges(self):
+        from repro.analysis import min_consistent_gcp
+
+        h = simulated(seed=5)
+        logs = build_sender_logs(h)
+        for cid in list(h.checkpoint_ids())[::5]:  # sample every 5th
+            cut = min_consistent_gcp(h, [cid])
+            if cut is None:
+                continue
+            outcome = execute_recovery(h, cut, logs)
+            assert outcome.converged, (cid, outcome)
+
+    def test_hypothesis_traces_converge(self):
+        from hypothesis import given, settings
+
+        from repro.core import protocol_factory
+        from repro.sim import replay as sim_replay
+        from tests.test_property_hypothesis import build_trace, trace_inputs
+
+        @given(trace_inputs)
+        @settings(max_examples=30, deadline=None)
+        def run(inputs):
+            n, ops = inputs
+            trace = build_trace(n, ops)
+            history = sim_replay(trace, protocol_factory("bhmr")).history
+            logs = build_sender_logs(history)
+            line = recovery_line(history, list(range(n)))
+            outcome = execute_recovery(history, line.cut, logs)
+            assert outcome.converged, outcome
+
+        run()
