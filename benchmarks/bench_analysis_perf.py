@@ -8,7 +8,7 @@ zigzag reachability and recovery-line computation on a mid-size run.
 import pytest
 
 from repro.analysis import check_rdt, useless_checkpoints
-from repro.graph import RGraph, ZPathAnalyzer
+from repro.graph import IncrementalClosure, IncrementalRGraph, RGraph, ZPathAnalyzer
 from repro.recovery import recovery_line
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads import RandomUniformWorkload
@@ -58,6 +58,41 @@ def test_useless_checkpoint_scan(benchmark, history):
 def test_recovery_line(benchmark, history):
     line = benchmark(lambda: recovery_line(history, [0]))
     assert set(line.cut) == set(range(history.num_processes))
+
+
+def test_incremental_closure_feed(benchmark, history):
+    """Cost of maintaining the closure online over the whole edge stream."""
+    rg = RGraph(history)
+    edges = [(u, v) for u, v in rg._graph.edges()]
+    n = rg.num_nodes()
+
+    def feed():
+        inc = IncrementalClosure(n)
+        for u, v in edges:
+            inc.add_edge(u, v)
+        return inc
+
+    inc = benchmark(feed)
+    batch = rg._graph.transitive_closure()
+    assert all(inc.reach_mask(u) == batch.reach_mask(u) for u in range(n))
+
+
+def test_incremental_rgraph_from_history(benchmark, history):
+    """Online R-graph feed (checkpoints + deliveries in time order)."""
+    closed = history.closed()
+    inc = benchmark(lambda: IncrementalRGraph.from_history(closed))
+    assert inc.num_nodes() > 50
+    # BHMR guarantees RDT, hence no useless checkpoints.  (A cyclic SCC
+    # with one checkpoint per process can still occur and is not a
+    # Z-cycle under this edge convention -- so don't assert on cycles.)
+    assert inc.useless_checkpoints() == []
+    assert inc.cycles() == RGraph(closed).cycles()
+
+
+def test_check_rdt_incremental_closure(benchmark, history):
+    report = benchmark(lambda: check_rdt(history, closure="incremental"))
+    assert report.holds
+    assert report.checked_pairs == check_rdt(history).checked_pairs
 
 
 def test_check_rdt_vectorized(benchmark, history):

@@ -9,14 +9,19 @@ conservative than FDAS); the reduction is smallest in unstructured
 random traffic and shrinks as n grows (fewer causal siblings per pair).
 """
 
+import os
+
 import pytest
 
-from repro.harness import ratio_sweep, render_series
+from repro.harness import render_runner_stats, render_series, run_sweep
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads import RandomUniformWorkload
 
 PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
 SEEDS = (0, 1, 2)
+# Cells fan out over worker processes (REPRO_BENCH_WORKERS=1 forces the
+# serial path); results are bit-identical either way.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 def scenario_at_rate(rate):
@@ -35,18 +40,21 @@ def scenario_at_n(n):
 
 @pytest.fixture(scope="module")
 def rate_sweep():
-    return ratio_sweep(
+    return run_sweep(
         "basic_rate",
         [0.05, 0.1, 0.2, 0.5, 1.0],
         scenario_at_rate,
         PROTOCOLS,
         seeds=SEEDS,
+        workers=WORKERS,
     )
 
 
 @pytest.fixture(scope="module")
 def n_sweep():
-    return ratio_sweep("n", [4, 8, 12, 16], scenario_at_n, PROTOCOLS, seeds=SEEDS)
+    return run_sweep(
+        "n", [4, 8, 12, 16], scenario_at_n, PROTOCOLS, seeds=SEEDS, workers=WORKERS
+    )
 
 
 def test_fig7_ratio_vs_checkpoint_rate(benchmark, emit, rate_sweep):
@@ -57,6 +65,8 @@ def test_fig7_ratio_vs_checkpoint_rate(benchmark, emit, rate_sweep):
             rate_sweep.ratio_series(),
             title="Figure 7a -- R vs basic checkpoint rate (random, n=8)",
         )
+        + "\n"
+        + render_runner_stats(rate_sweep.stats)
     )
     # Shape: BHMR (and variants) never forces more than FDAS.
     for protocol in PROTOCOLS:

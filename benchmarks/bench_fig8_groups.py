@@ -7,15 +7,18 @@ that govern how much causal knowledge crosses group boundaries (which is
 what the BHMR ``causal`` matrix exploits).
 """
 
+import os
+
 import pytest
 
-from repro.harness import ratio_sweep, render_series
+from repro.harness import render_runner_stats, render_series, run_sweep
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads import OverlappingGroupsWorkload
 
 PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
 SEEDS = (0, 1, 2)
 N = 12
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 def scenario_at_overlap(overlap):
@@ -38,15 +41,25 @@ def scenario_at_multicast(p):
 
 @pytest.fixture(scope="module")
 def overlap_sweep():
-    return ratio_sweep(
-        "overlap", [0, 1, 2], scenario_at_overlap, PROTOCOLS, seeds=SEEDS
+    return run_sweep(
+        "overlap",
+        [0, 1, 2],
+        scenario_at_overlap,
+        PROTOCOLS,
+        seeds=SEEDS,
+        workers=WORKERS,
     )
 
 
 @pytest.fixture(scope="module")
 def multicast_sweep():
-    return ratio_sweep(
-        "p_multicast", [0.0, 0.3, 0.7], scenario_at_multicast, PROTOCOLS, seeds=SEEDS
+    return run_sweep(
+        "p_multicast",
+        [0.0, 0.3, 0.7],
+        scenario_at_multicast,
+        PROTOCOLS,
+        seeds=SEEDS,
+        workers=WORKERS,
     )
 
 
@@ -58,6 +71,8 @@ def test_fig8_ratio_vs_overlap(benchmark, emit, overlap_sweep):
             overlap_sweep.ratio_series(),
             title=f"Figure 8a -- R vs group overlap (groups of 4, n={N})",
         )
+        + "\n"
+        + render_runner_stats(overlap_sweep.stats)
     )
     for protocol in PROTOCOLS:
         assert overlap_sweep.max_ratio(protocol) <= 1.0, protocol

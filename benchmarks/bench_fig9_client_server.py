@@ -9,14 +9,17 @@ Expected shape (and the paper's): R far below 1 -- the environment where
 the BHMR protocol wins biggest.
 """
 
+import os
+
 import pytest
 
-from repro.harness import ratio_sweep, render_series
+from repro.harness import render_runner_stats, render_series, run_sweep
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads import ClientServerWorkload
 
 PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly"]
 SEEDS = (0, 1, 2)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 def scenario_at_n(n):
@@ -35,13 +38,20 @@ def scenario_at_think(think):
 
 @pytest.fixture(scope="module")
 def n_sweep():
-    return ratio_sweep("n", [3, 6, 9, 12], scenario_at_n, PROTOCOLS, seeds=SEEDS)
+    return run_sweep(
+        "n", [3, 6, 9, 12], scenario_at_n, PROTOCOLS, seeds=SEEDS, workers=WORKERS
+    )
 
 
 @pytest.fixture(scope="module")
 def think_sweep():
-    return ratio_sweep(
-        "think_time", [0.1, 0.5, 2.0], scenario_at_think, PROTOCOLS, seeds=SEEDS
+    return run_sweep(
+        "think_time",
+        [0.1, 0.5, 2.0],
+        scenario_at_think,
+        PROTOCOLS,
+        seeds=SEEDS,
+        workers=WORKERS,
     )
 
 
@@ -53,6 +63,8 @@ def test_fig9_ratio_vs_chain_length(benchmark, emit, n_sweep):
             n_sweep.ratio_series(),
             title="Figure 9a -- R vs number of servers (client/server)",
         )
+        + "\n"
+        + render_runner_stats(n_sweep.stats)
     )
     for protocol in PROTOCOLS:
         assert n_sweep.max_ratio(protocol) <= 1.0, protocol

@@ -52,6 +52,7 @@ from repro.analysis.zcycle import (
     find_z_cycles,
     has_z_cycle,
     useless_checkpoints,
+    useless_checkpoints_incremental,
     useless_checkpoints_rgraph,
 )
 
@@ -97,5 +98,6 @@ __all__ = [
     "orphans_of_cut",
     "untracked_pairs",
     "useless_checkpoints",
+    "useless_checkpoints_incremental",
     "useless_checkpoints_rgraph",
 ]

@@ -36,7 +36,7 @@ executable form of the characterization theorem.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.clocks.tdv import message_tdvs
 from repro.events.event import Message
@@ -118,7 +118,11 @@ def noncausal_junctions(history: History) -> Iterator[Junction]:
             yield Junction(pid=pid, first_msg=m.msg_id, after_msg=after.msg_id)
 
 
-def check_rdt_elementary(history: History) -> ElementaryReport:
+def check_rdt_elementary(
+    history: History,
+    analyzer: Optional[ZPathAnalyzer] = None,
+    reach_cache: Optional[Dict[CheckpointId, ChainReach]] = None,
+) -> ElementaryReport:
     """Decide RDT via the elementary (CM-path) characterization.
 
     For every non-causal junction ``(m, m')`` and every process ``k``,
@@ -129,11 +133,19 @@ def check_rdt_elementary(history: History) -> ElementaryReport:
     interval of ``m'``.  RDT holds iff every such path is doubled by a
     causal chain; doubling is monotone in the start index, so checking
     the deepest start per process suffices.
+
+    An online driver re-checking growing prefixes may pass its own
+    ``analyzer`` (built on the same closed history) and a persistent
+    ``reach_cache`` so causal reach sets are shared across calls instead
+    of being recomputed per query -- the same recompute-nothing policy
+    the incremental R-graph closure applies to reachability.
     """
     history = history.closed()
-    analyzer = ZPathAnalyzer(history)
+    if analyzer is None:
+        analyzer = ZPathAnalyzer(history)
     piggybacked = message_tdvs(history)
-    reach_cache: Dict[CheckpointId, ChainReach] = {}
+    if reach_cache is None:
+        reach_cache = {}
 
     def causal_reach(cid: CheckpointId) -> ChainReach:
         if cid not in reach_cache:

@@ -133,10 +133,19 @@ def max_consistent_gcp(
 
 
 # ----------------------------------------------------------------------
-# R-graph shortcuts, valid under RDT
+# R-graph shortcuts, valid under RDT.
+#
+# All three accept a prebuilt ``rgraph`` (share one across queries!) and
+# an ``incremental`` flag that, when building internally, backs the
+# reachability with an edge-by-edge IncrementalClosure instead of batch
+# condensation -- bit-identical answers, but the closure object can be
+# extended online as the pattern grows.
 # ----------------------------------------------------------------------
 def min_gcp_rdt(
-    history: History, cid: CheckpointId, rgraph: Optional[RGraph] = None
+    history: History,
+    cid: CheckpointId,
+    rgraph: Optional[RGraph] = None,
+    incremental: bool = False,
 ) -> Dict[ProcessId, int]:
     """Minimum consistent GCP containing ``cid``, by R-graph reachability.
 
@@ -152,7 +161,7 @@ def min_gcp_rdt(
     history = history.closed()
     _check_exists(history, cid)
     if rgraph is None:
-        rgraph = RGraph(history)
+        rgraph = RGraph(history, incremental=incremental)
     cut: Dict[ProcessId, int] = {}
     for pid in range(history.num_processes):
         if pid == cid.pid:
@@ -168,7 +177,10 @@ def min_gcp_rdt(
 
 
 def max_gcp_rdt(
-    history: History, cid: CheckpointId, rgraph: Optional[RGraph] = None
+    history: History,
+    cid: CheckpointId,
+    rgraph: Optional[RGraph] = None,
+    incremental: bool = False,
 ) -> Dict[ProcessId, int]:
     """Maximum consistent GCP containing ``cid``, by R-graph reachability.
 
@@ -185,7 +197,7 @@ def max_gcp_rdt(
     history = history.closed()
     _check_exists(history, cid)
     if rgraph is None:
-        rgraph = RGraph(history)
+        rgraph = RGraph(history, incremental=incremental)
     source = CheckpointId(cid.pid, cid.index + 1)
     have_source = history.has_checkpoint(source)
     cut: Dict[ProcessId, int] = {}
@@ -207,7 +219,9 @@ def max_gcp_rdt(
 # ----------------------------------------------------------------------
 # Netzer-Xu extensibility
 # ----------------------------------------------------------------------
-def can_belong_to_same_gcp(history: History, cids: List[CheckpointId]) -> bool:
+def can_belong_to_same_gcp(
+    history: History, cids: List[CheckpointId], incremental: bool = False
+) -> bool:
     """Can the given checkpoints be extended to a consistent GCP?
 
     Netzer-Xu: yes iff no zigzag path connects any two of them (nor any
@@ -224,7 +238,7 @@ def can_belong_to_same_gcp(history: History, cids: List[CheckpointId]) -> bool:
         if cid.pid in by_pid:
             return False  # two distinct checkpoints of one process
         by_pid[cid.pid] = cid
-    rgraph = RGraph(history)
+    rgraph = RGraph(history, incremental=incremental)
     for a in unique:
         source = CheckpointId(a.pid, a.index + 1)
         if not history.has_checkpoint(source):

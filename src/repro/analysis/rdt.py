@@ -72,6 +72,7 @@ def check_rdt(
     method: str = "tdv",
     max_violations: Optional[int] = None,
     rgraph: Optional[RGraph] = None,
+    closure: str = "batch",
 ) -> RDTReport:
     """Check whether a pattern satisfies Rollback-Dependency Trackability.
 
@@ -81,12 +82,21 @@ def check_rdt(
 
     ``max_violations`` stops early once that many violations were found
     (``None`` collects all).
+
+    ``closure`` selects the reachability backend when no ``rgraph`` is
+    supplied: ``"batch"`` condenses the full R-graph once (Tarjan),
+    ``"incremental"`` folds the edges into an
+    :class:`~repro.graph.reachability.IncrementalClosure` -- same
+    verdicts bit for bit (differentially tested), but the incremental
+    closure is the one an online monitor can keep extending.
     """
     if method not in ("tdv", "chains", "vectorized"):
         raise AnalysisError(f"unknown RDT check method: {method}")
+    if closure not in ("batch", "incremental"):
+        raise AnalysisError(f"unknown closure backend: {closure}")
     history = history.closed()
     if rgraph is None:
-        rgraph = RGraph(history)
+        rgraph = RGraph(history, incremental=closure == "incremental")
     elif rgraph.history is not history or rgraph.include_volatile:
         raise AnalysisError("rgraph must be built on the closed history, no volatile")
 

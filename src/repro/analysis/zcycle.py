@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.events.history import History
+from repro.graph.incremental import IncrementalRGraph
 from repro.graph.rgraph import RGraph
 from repro.graph.zpaths import ZPathAnalyzer
 from repro.types import CheckpointId
@@ -72,15 +73,39 @@ def useless_checkpoints_rgraph(history: History) -> List[CheckpointId]:
     return sorted(out)
 
 
-def find_z_cycles(history: History) -> List[List[CheckpointId]]:
+def useless_checkpoints_incremental(history: History) -> List[CheckpointId]:
+    """Useless checkpoints via the *online* R-graph (third detector).
+
+    Feeds the history's events in time order into an
+    :class:`~repro.graph.incremental.IncrementalRGraph`, exactly as a
+    live simulation would, and reads the answer off the incrementally
+    maintained closure.  Agrees bit for bit with both batch detectors
+    (differential suite); unlike them, the underlying monitor could have
+    answered at any prefix of the run without recondensing.
+    """
+    return IncrementalRGraph.from_history(history.closed()).useless_checkpoints()
+
+
+def find_z_cycles(
+    history: History, incremental: bool = False
+) -> List[List[CheckpointId]]:
     """Cyclic strongly connected components of the R-graph.
 
     Each returned component is a sorted list of mutually-reachable
-    checkpoints; non-empty output means the pattern has Z-cycles (and
-    hence useless checkpoints, and hence violates RDT).
+    checkpoints.  A component containing two checkpoints of the *same*
+    process straddles useless checkpoints (see
+    :func:`useless_checkpoints_rgraph`); under this edge convention a
+    component with one checkpoint per process can occur even in RDT
+    patterns and dooms no checkpoint.
+
+    ``incremental=True`` computes the same components from the online
+    closure (edge-by-edge updates) instead of batch condensation.
     """
-    return RGraph(history.closed()).cycles()
+    history = history.closed()
+    if incremental:
+        return IncrementalRGraph.from_history(history).cycles()
+    return RGraph(history).cycles()
 
 
-def has_z_cycle(history: History) -> bool:
-    return bool(find_z_cycles(history))
+def has_z_cycle(history: History, incremental: bool = False) -> bool:
+    return bool(find_z_cycles(history, incremental=incremental))

@@ -1,7 +1,22 @@
 """Dependency graphs: the R-graph and the message-chain (Z-path) engine."""
 
-from repro.graph.reachability import Closure, DenseDigraph
+from repro.graph.incremental import IncrementalRGraph
+from repro.graph.reachability import (
+    Closure,
+    DenseDigraph,
+    IncrementalClosure,
+    SetView,
+)
 from repro.graph.rgraph import RGraph
 from repro.graph.zpaths import ChainReach, ZPathAnalyzer
 
-__all__ = ["ChainReach", "Closure", "DenseDigraph", "RGraph", "ZPathAnalyzer"]
+__all__ = [
+    "ChainReach",
+    "Closure",
+    "DenseDigraph",
+    "IncrementalClosure",
+    "IncrementalRGraph",
+    "RGraph",
+    "SetView",
+    "ZPathAnalyzer",
+]

@@ -1,0 +1,222 @@
+"""Online R-graph maintenance over a *growing* pattern.
+
+:class:`repro.graph.rgraph.RGraph` is built once from a finished
+history.  :class:`IncrementalRGraph` instead follows a computation as it
+happens: processes take checkpoints and deliver messages one at a time,
+and reachability / Z-cycle / useless-checkpoint queries are answered
+online from an :class:`~repro.graph.reachability.IncrementalClosure`
+that is updated edge by edge -- no per-query recondensation.
+
+The online trick is the *frontier node*: for every process the graph
+always contains one node for the checkpoint that will close the
+currently-open interval (index ``last_index + 1``).  A message delivered
+in an open interval hooks onto frontier nodes; when the checkpoint is
+actually taken the frontier node simply *becomes* it (same node id) and
+a fresh frontier is appended behind a succession edge.  This mirrors how
+a CIC protocol sees the pattern: the sender piggybacks its current
+interval index, the receiver attributes the delivery to its own open
+interval.
+
+Fed the events of a closed history in time order
+(:meth:`IncrementalRGraph.from_history`), the resulting reachability
+over real (non-frontier) checkpoints is bit-identical to the batch
+``RGraph`` of that history -- the differential suite in
+``tests/test_differential_closure.py`` holds the two to that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.events.history import History
+from repro.graph.reachability import IncrementalClosure
+from repro.types import CheckpointId, PatternError, ProcessId
+
+
+class IncrementalRGraph:
+    """R-graph of a pattern under construction, with online closure."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise PatternError("an R-graph needs at least one process")
+        self._n = n
+        self._closure = IncrementalClosure()
+        self._nodes: List[CheckpointId] = []
+        self._id_of: Dict[CheckpointId, int] = {}
+        # Index of the last *taken* checkpoint per process; the frontier
+        # node sits at last_index + 1.
+        self._last_index = [0] * n
+        for pid in range(n):
+            self._new_node(CheckpointId(pid, 0))
+        for pid in range(n):
+            self._new_node(CheckpointId(pid, 1))
+            self._add_edge(CheckpointId(pid, 0), CheckpointId(pid, 1))
+
+    # ------------------------------------------------------------------
+    # construction feed
+    # ------------------------------------------------------------------
+    def _new_node(self, cid: CheckpointId) -> int:
+        node = self._closure.add_node()
+        self._id_of[cid] = node
+        self._nodes.append(cid)
+        return node
+
+    def _add_edge(self, a: CheckpointId, b: CheckpointId) -> None:
+        self._closure.add_edge(self._id_of[a], self._id_of[b])
+
+    def take_checkpoint(self, pid: ProcessId) -> CheckpointId:
+        """Process ``pid`` takes its next checkpoint.
+
+        The existing frontier node becomes the concrete checkpoint
+        ``C(pid, last_index + 1)``; a new frontier is appended with the
+        succession edge.  Returns the id of the checkpoint just taken.
+        """
+        taken = CheckpointId(pid, self._last_index[pid] + 1)
+        self._last_index[pid] = taken.index
+        frontier = CheckpointId(pid, taken.index + 1)
+        self._new_node(frontier)
+        self._add_edge(taken, frontier)
+        return taken
+
+    def observe_delivery(
+        self,
+        src: ProcessId,
+        send_interval: int,
+        dst: ProcessId,
+        deliver_interval: Optional[int] = None,
+    ) -> None:
+        """Record the delivery of one message as an R-graph edge.
+
+        ``send_interval`` is the sender's interval index at send time
+        (what CIC protocols piggyback); ``deliver_interval`` defaults to
+        the receiver's currently-open interval.  Both may name frontier
+        checkpoints -- the edge endpoints solidify when those
+        checkpoints are taken.
+        """
+        if deliver_interval is None:
+            deliver_interval = self._last_index[dst] + 1
+        if send_interval > self._last_index[src] + 1:
+            raise PatternError(
+                f"send interval {send_interval} is in P{src}'s future "
+                f"(frontier is {self._last_index[src] + 1})"
+            )
+        if deliver_interval > self._last_index[dst] + 1:
+            raise PatternError(
+                f"deliver interval {deliver_interval} is in P{dst}'s future "
+                f"(frontier is {self._last_index[dst] + 1})"
+            )
+        self._add_edge(
+            CheckpointId(src, send_interval), CheckpointId(dst, deliver_interval)
+        )
+
+    @classmethod
+    def from_history(cls, history: History) -> "IncrementalRGraph":
+        """Replay a (closed) history's events in time order.
+
+        Equivalent to what a live simulation feed would have produced;
+        the closed history guarantees every message edge lands between
+        real checkpoints.
+        """
+        history = history.closed()
+        inc = cls(history.num_processes)
+        for event in history.events_by_time():
+            if event.is_checkpoint:
+                if event.checkpoint_index == 0:
+                    continue  # initial checkpoints exist from construction
+                taken = inc.take_checkpoint(event.pid)
+                assert taken.index == event.checkpoint_index
+            elif event.is_deliver:
+                m = history.message(event.msg_id)
+                inc.observe_delivery(
+                    m.src,
+                    history.send_interval(m),
+                    m.dst,
+                    history.deliver_interval(m),
+                )
+        return inc
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        return self._n
+
+    def last_index(self, pid: ProcessId) -> int:
+        return self._last_index[pid]
+
+    def frontier(self, pid: ProcessId) -> CheckpointId:
+        """The node standing for ``pid``'s next (not yet taken) checkpoint."""
+        return CheckpointId(pid, self._last_index[pid] + 1)
+
+    def has_node(self, cid: CheckpointId) -> bool:
+        return cid in self._id_of
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def num_edges(self) -> int:
+        return self._closure.num_edges()
+
+    def is_frontier(self, cid: CheckpointId) -> bool:
+        return cid.index > self._last_index[cid.pid]
+
+    # ------------------------------------------------------------------
+    # online queries
+    # ------------------------------------------------------------------
+    def has_rpath(self, a: CheckpointId, b: CheckpointId) -> bool:
+        """R-path ``a -> b`` (trivial ``a == a`` included), as of now."""
+        return self._closure.reaches_or_equal(self._id_of[a], self._id_of[b])
+
+    def reaches_strictly(self, a: CheckpointId, b: CheckpointId) -> bool:
+        return self._closure.reaches(self._id_of[a], self._id_of[b])
+
+    def reachable_set(self, a: CheckpointId) -> Set[CheckpointId]:
+        ids = self._closure.reachable_set(self._id_of[a])
+        return {self._nodes[v] for v in ids}
+
+    def on_cycle(self, cid: CheckpointId) -> bool:
+        return self._closure.on_cycle(self._id_of[cid])
+
+    def has_z_cycle(self) -> bool:
+        """Any Z-cycle (cyclic SCC) in the pattern so far?"""
+        return bool(self._closure.cyclic_components())
+
+    def cycles(self) -> List[List[CheckpointId]]:
+        """Cyclic SCCs, each sorted, ordered by smallest member."""
+        comps = [
+            sorted(self._nodes[v] for v in comp)
+            for comp in self._closure.cyclic_components()
+        ]
+        return sorted(comps, key=lambda comp: comp[0])
+
+    def useless_checkpoints(self) -> List[CheckpointId]:
+        """Checkpoints straddled by a backward R-path, as of now.
+
+        ``C(p, x)`` is useless iff there is an R-path ``C(p,u) -> C(p,v)``
+        with ``u > x >= v`` -- read directly off the closure bitsets of
+        ``p``'s own nodes, frontier excluded.
+        """
+        out: Set[CheckpointId] = set()
+        for pid in range(self._n):
+            # The frontier (index last+1) participates as a path *source*:
+            # a chain leaving the open interval can already doom taken
+            # checkpoints, even though its closing checkpoint is pending.
+            node_of = [
+                self._id_of[CheckpointId(pid, x)]
+                for x in range(self._last_index[pid] + 2)
+            ]
+            for u in range(1, self._last_index[pid] + 2):
+                mask = self._closure.reach_mask(node_of[u])
+                for v in range(u):
+                    if mask >> node_of[v] & 1:
+                        # Everything in [v, u) is straddled, hence useless.
+                        out.update(CheckpointId(pid, x) for x in range(v, u))
+                        break
+        return sorted(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"<IncrementalRGraph n={self._n} nodes={self.num_nodes()} "
+            f"edges={self.num_edges()}>"
+        )

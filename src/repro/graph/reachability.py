@@ -9,7 +9,38 @@ integers, which keeps the per-node union a single ``|`` operation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Set as AbstractSet
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+
+class SetView(AbstractSet):
+    """A zero-copy read-only view over a ``set``.
+
+    Supports containment, iteration, length, comparison and the usual
+    set algebra (which returns plain sets) without copying the backing
+    set on every access -- adjacency queries sit in hot analysis loops.
+    """
+
+    __slots__ = ("_backing",)
+
+    def __init__(self, backing: Set[int]) -> None:
+        self._backing = backing
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._backing
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._backing)
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> Set[int]:
+        return set(iterable)
+
+    def __repr__(self) -> str:
+        return f"SetView({self._backing!r})"
 
 
 class DenseDigraph:
@@ -28,11 +59,13 @@ class DenseDigraph:
         self._succ[u].add(v)
         self._pred[v].add(u)
 
-    def successors(self, u: int) -> Set[int]:
-        return set(self._succ[u])
+    def successors(self, u: int) -> SetView:
+        """Read-only view of ``u``'s direct successors (no copy)."""
+        return SetView(self._succ[u])
 
-    def predecessors(self, v: int) -> Set[int]:
-        return set(self._pred[v])
+    def predecessors(self, v: int) -> SetView:
+        """Read-only view of ``v``'s direct predecessors (no copy)."""
+        return SetView(self._pred[v])
 
     def edges(self) -> Iterable[Tuple[int, int]]:
         for u, outs in enumerate(self._succ):
@@ -178,6 +211,119 @@ class Closure:
         for comp in self._sccs:
             if len(comp) > 1 or self.reaches(comp[0], comp[0]):
                 out.append(sorted(comp))
+        return out
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+class IncrementalClosure:
+    """Transitive closure maintained online under edge/node insertion.
+
+    Query-compatible with :class:`Closure` (same strict-or-cyclic
+    semantics: ``reaches(u, u)`` iff ``u`` lies on a cycle) but instead
+    of condensing the whole graph per build it updates two bitset
+    families edge by edge:
+
+    * ``reach[u]``  -- everything ``u`` strictly reaches;
+    * ``rreach[u]`` -- everything that strictly reaches ``u``.
+
+    On ``add_edge(u, v)`` any new path uses the edge at least once, and a
+    path using it several times can always be shortcut to a single use
+    (old prefix to ``u``, the edge, old suffix from ``v``).  So the exact
+    update is: for every ``w`` in ``{u} | rreach[u]``, fold in
+    ``{v} | reach[v]`` (and symmetrically for ``rreach``), with both
+    deltas snapshotted before mutation.  An insertion that adds nothing
+    new (``reach[u]`` already covers the delta) costs O(1).
+
+    This is what lets a simulation append checkpoints and message edges
+    as they happen and query trackability online, instead of re-running
+    Tarjan + propagation over the full R-graph per query.
+    """
+
+    def __init__(self, n: int = 0) -> None:
+        self._reach: List[int] = [0] * n
+        self._rreach: List[int] = [0] * n
+        self._succ: List[Set[int]] = [set() for _ in range(n)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self._reach)
+
+    def add_node(self) -> int:
+        """Append an isolated node; returns its index."""
+        self._reach.append(0)
+        self._rreach.append(0)
+        self._succ.append(set())
+        return len(self._reach) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        if v in self._succ[u]:
+            return
+        self._succ[u].add(v)
+        self._num_edges += 1
+        delta = self._reach[v] | (1 << v)
+        if self._reach[u] & delta == delta:
+            # u already reached v and everything past it; by closure
+            # invariance so did everything reaching u.  Nothing changes.
+            return
+        rdelta = self._rreach[u] | (1 << u)
+        # Snapshot both deltas before mutating: v (or u) may itself be
+        # among the updated nodes when the edge closes a cycle.
+        for w in _iter_bits(rdelta):
+            self._reach[w] |= delta
+        for w in _iter_bits(delta):
+            self._rreach[w] |= rdelta
+
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # queries (Closure-compatible)
+    # ------------------------------------------------------------------
+    def reaches(self, u: int, v: int) -> bool:
+        return bool(self._reach[u] >> v & 1)
+
+    def reach_mask(self, u: int) -> int:
+        """The raw reachability bitset of ``u`` (bit v set iff u -> v)."""
+        return self._reach[u]
+
+    def coreach_mask(self, v: int) -> int:
+        """The raw co-reachability bitset of ``v`` (bit u set iff u -> v)."""
+        return self._rreach[v]
+
+    def reaches_or_equal(self, u: int, v: int) -> bool:
+        return u == v or self.reaches(u, v)
+
+    def reachable_set(self, u: int) -> Set[int]:
+        return set(_iter_bits(self._reach[u]))
+
+    def on_cycle(self, u: int) -> bool:
+        return self.reaches(u, u)
+
+    def cyclic_components(self) -> List[List[int]]:
+        """SCCs containing a cycle, each sorted, ordered by smallest node.
+
+        An on-cycle node's component is exactly ``reach & rreach`` (both
+        include the node itself once it is cyclic).
+        """
+        seen = 0
+        out: List[List[int]] = []
+        for u in range(len(self._reach)):
+            if seen >> u & 1 or not self.on_cycle(u):
+                continue
+            comp_mask = self._reach[u] & self._rreach[u]
+            seen |= comp_mask
+            out.append(sorted(_iter_bits(comp_mask)))
         return out
 
 

@@ -30,17 +30,33 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from typing import Union
+
 from repro.events.history import History
-from repro.graph.reachability import Closure, DenseDigraph
+from repro.graph.reachability import Closure, DenseDigraph, IncrementalClosure
 from repro.types import CheckpointId
 
 
 class RGraph:
-    """The rollback-dependency graph of one history."""
+    """The rollback-dependency graph of one history.
 
-    def __init__(self, history: History, include_volatile: bool = False) -> None:
+    ``incremental=True`` answers reachability from an
+    :class:`~repro.graph.reachability.IncrementalClosure` fed edge by
+    edge instead of one batch Tarjan condensation; query results are
+    bit-identical (enforced by ``tests/test_differential_closure.py``)
+    but the closure can then be shared with online analyses that keep
+    extending it.
+    """
+
+    def __init__(
+        self,
+        history: History,
+        include_volatile: bool = False,
+        incremental: bool = False,
+    ) -> None:
         self._history = history
         self._include_volatile = include_volatile
+        self._incremental = incremental
         n = history.num_processes
         self._nodes: List[CheckpointId] = []
         self._id_of: Dict[CheckpointId, int] = {}
@@ -52,7 +68,7 @@ class RGraph:
                 self._nodes.append(cid)
         self._graph = DenseDigraph(len(self._nodes))
         self._build_edges()
-        self._closure: Optional[Closure] = None
+        self._closure: Optional[Union[Closure, IncrementalClosure]] = None
 
     def _build_edges(self) -> None:
         history = self._history
@@ -109,9 +125,15 @@ class RGraph:
         return {self._nodes[u] for u in self._graph.predecessors(self._id_of[cid])}
 
     # ------------------------------------------------------------------
-    def _closure_or_build(self) -> Closure:
+    def _closure_or_build(self) -> Union[Closure, IncrementalClosure]:
         if self._closure is None:
-            self._closure = self._graph.transitive_closure()
+            if self._incremental:
+                inc = IncrementalClosure(self._graph.n)
+                for u, v in self._graph.edges():
+                    inc.add_edge(u, v)
+                self._closure = inc
+            else:
+                self._closure = self._graph.transitive_closure()
         return self._closure
 
     def has_rpath(self, a: CheckpointId, b: CheckpointId) -> bool:
@@ -147,11 +169,16 @@ class RGraph:
         return self._closure_or_build().on_cycle(self._id_of[cid])
 
     def cycles(self) -> List[List[CheckpointId]]:
-        """Strongly connected components containing a cycle."""
-        return [
+        """Strongly connected components containing a cycle.
+
+        Each component sorted; components ordered by smallest member so
+        the output is identical across closure backends.
+        """
+        comps = [
             sorted(self._nodes[v] for v in comp)
             for comp in self._closure_or_build().cyclic_components()
         ]
+        return sorted(comps, key=lambda comp: comp[0])
 
     # ------------------------------------------------------------------
     def rpath_pairs(self) -> Iterable[Tuple[CheckpointId, CheckpointId]]:

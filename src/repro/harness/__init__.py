@@ -1,20 +1,40 @@
-"""Experiment harness: comparisons, sweeps and table rendering."""
+"""Experiment harness: comparisons, sweeps, parallel runs and tables."""
 
 from repro.harness.experiment import (
     ComparisonResult,
     ProtocolAggregate,
     compare_protocols,
 )
+from repro.harness.runner import (
+    ResultCache,
+    RunnerStats,
+    SweepCell,
+    cell_key,
+    derive_cell_seeds,
+    run_sweep,
+)
 from repro.harness.sweep import SweepResult, ratio_sweep
-from repro.harness.tables import render_ascii_plot, render_series, render_table
+from repro.harness.tables import (
+    render_ascii_plot,
+    render_runner_stats,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "ComparisonResult",
     "ProtocolAggregate",
+    "ResultCache",
+    "RunnerStats",
+    "SweepCell",
     "SweepResult",
+    "cell_key",
     "compare_protocols",
+    "derive_cell_seeds",
     "ratio_sweep",
     "render_ascii_plot",
+    "render_runner_stats",
     "render_series",
     "render_table",
+    "run_sweep",
 ]

@@ -1,0 +1,418 @@
+"""Parallel, cached execution of sweep experiments.
+
+:func:`repro.harness.sweep.ratio_sweep` runs every (x, protocols, seeds)
+cell of a figure serially in-process.  This module fans the same cells
+out over worker processes and memoises finished cells in a
+content-addressed on-disk cache, while guaranteeing bit-identical
+results to the serial path:
+
+* **Determinism.**  A cell is a pure function of (scenario factory, x,
+  protocol list, baseline, seeds, verify_rdt): each simulation seeds its
+  own ``random.Random`` from the cell's seed list, so neither worker
+  count nor scheduling order can change a result.  The property suite in
+  ``tests/test_runner_parallel.py`` pins serial == parallel for random
+  cell sets, and :func:`derive_cell_seeds` derives decorrelated per-cell
+  seed lists from one master seed when callers want them.
+
+* **Content-addressed caching.**  The cache key is the SHA-256 of a
+  canonical JSON description of the cell -- workload class + parameters,
+  simulation config (delay model included), protocol list, baseline,
+  seeds, verify flag.  The cached payload is the canonical JSON encoding
+  of the :class:`~repro.harness.experiment.ComparisonResult`, so a cache
+  hit returns the *same bytes* a cold run produced.  Any change to a knob
+  changes the key; stale entries are simply never addressed again.
+
+* **Portability.**  Worker processes need the scenario callable to be
+  picklable (a module-level function).  When it is not -- or when only
+  one worker is requested -- the runner silently degrades to the serial
+  path; results are identical either way, only the wall time differs.
+
+Timing and hit statistics are collected in :class:`RunnerStats` and
+rendered by :func:`repro.harness.tables.render_runner_stats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.experiment import (
+    ComparisonResult,
+    ProtocolAggregate,
+    compare_protocols,
+)
+from repro.harness.sweep import ScenarioAt, SweepResult
+
+__all__ = [
+    "ResultCache",
+    "RunnerStats",
+    "SweepCell",
+    "cell_key",
+    "comparison_from_payload",
+    "comparison_to_payload",
+    "derive_cell_seeds",
+    "describe_cell",
+    "run_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: every protocol at one swept value."""
+
+    x_label: str
+    x: object
+    scenario: ScenarioAt
+    protocols: Tuple[str, ...]
+    baseline: str
+    seeds: Tuple[int, ...]
+    verify_rdt: bool = False
+
+    @property
+    def scenario_name(self) -> str:
+        return f"{self.x_label}={self.x}"
+
+
+def _jsonable(value: object) -> object:
+    """A JSON-safe, deterministic rendition of one parameter value."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return repr(value)
+
+
+def describe_cell(cell: SweepCell) -> Dict[str, object]:
+    """Canonical description of a cell -- the cache key's preimage.
+
+    Instantiates the workload once to capture its class name and
+    constructor-derived attributes; the simulation config contributes
+    every field, with the delay model via its (stable dataclass) repr.
+    """
+    make_workload, config = cell.scenario(cell.x)
+    workload = make_workload()
+    return {
+        "x_label": cell.x_label,
+        "x": _jsonable(cell.x),
+        "workload": {
+            "name": workload.name,
+            "params": _jsonable(vars(workload)),
+        },
+        "config": _jsonable(dict(config.__dict__)),
+        "protocols": list(cell.protocols),
+        "baseline": cell.baseline,
+        "seeds": list(cell.seeds),
+        "verify_rdt": cell.verify_rdt,
+    }
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Content address of a cell: SHA-256 over its canonical description."""
+    canonical = json.dumps(
+        describe_cell(cell), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def derive_cell_seeds(master_seed: int, cell_tag: str, count: int) -> Tuple[int, ...]:
+    """Deterministic per-cell seed list from one master seed.
+
+    Hash-derived so that cells never share streams no matter how the
+    sweep is re-sliced, yet a given (master_seed, cell_tag, i) always
+    yields the same seed on every machine and worker.
+    """
+    seeds = []
+    for i in range(count):
+        digest = hashlib.sha256(
+            f"{master_seed}:{cell_tag}:{i}".encode("utf-8")
+        ).digest()
+        seeds.append(int.from_bytes(digest[:8], "big") & 0x7FFFFFFF)
+    return tuple(seeds)
+
+
+# ----------------------------------------------------------------------
+# result (de)serialisation -- the cached payload
+# ----------------------------------------------------------------------
+def comparison_to_payload(comp: ComparisonResult) -> bytes:
+    """Canonical JSON encoding of a comparison (cache payload)."""
+    doc = {
+        "scenario": comp.scenario,
+        "baseline": comp.baseline,
+        "protocols": [
+            {
+                "protocol": agg.protocol,
+                "seeds": agg.seeds,
+                "forced_total": agg.forced_total,
+                "basic_total": agg.basic_total,
+                "messages_total": agg.messages_total,
+                "piggyback_bits_total": agg.piggyback_bits_total,
+                "rdt_ok": agg.rdt_ok,
+                "ratio_to_baseline": agg.ratio_to_baseline,
+                "forced_per_seed": agg.forced_per_seed,
+                "ratio_per_seed": agg.ratio_per_seed,
+            }
+            for agg in comp.protocols
+        ],
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def comparison_from_payload(payload: bytes) -> ComparisonResult:
+    doc = json.loads(payload.decode("utf-8"))
+    aggregates = [ProtocolAggregate(**entry) for entry in doc["protocols"]]
+    return ComparisonResult(
+        scenario=doc["scenario"], protocols=aggregates, baseline=doc["baseline"]
+    )
+
+
+# ----------------------------------------------------------------------
+# on-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of finished sweep cells.
+
+    One file per cell under ``root/<key[:2]>/<key>.json``; the key is
+    the SHA-256 of the cell description, the file holds the canonical
+    payload bytes.  Writes are atomic (temp file + rename) so a killed
+    run never leaves a torn entry, and concurrent writers of the same
+    key converge on identical bytes by construction.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def _resolve_cache(
+    cache: Union[ResultCache, str, Path, None, bool]
+) -> Optional[ResultCache]:
+    """None -> env ``REPRO_SWEEP_CACHE`` (if set) else disabled;
+    False -> disabled; a path or ResultCache -> that cache."""
+    if cache is None:
+        env = os.environ.get("REPRO_SWEEP_CACHE")
+        return ResultCache(env) if env else None
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@dataclass
+class RunnerStats:
+    """Where the time went in one :func:`run_sweep` call."""
+
+    workers: int = 1
+    mode: str = "serial"
+    cells_total: int = 0
+    cache_hits: int = 0
+    cell_seconds: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    note: str = ""
+
+    @property
+    def cells_run(self) -> int:
+        return self.cells_total - self.cache_hits
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-side compute time (the serial-equivalent cost)."""
+        return sum(self.cell_seconds)
+
+    @property
+    def speedup_estimate(self) -> Optional[float]:
+        """Worker compute time over wall time; > 1 means parallel/cache won."""
+        if self.wall_seconds <= 0:
+            return None
+        return self.busy_seconds / self.wall_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "cells": self.cells_total,
+            "hits": self.cache_hits,
+            "busy_s": round(self.busy_seconds, 3),
+            "wall_s": round(self.wall_seconds, 3),
+            "speedup": None
+            if self.speedup_estimate is None
+            else round(self.speedup_estimate, 2),
+        }
+
+
+def _execute_cell(cell: SweepCell) -> Tuple[bytes, float]:
+    """Run one cell to completion; module-level so workers can unpickle it."""
+    start = time.perf_counter()
+    make_workload, config = cell.scenario(cell.x)
+    comp = compare_protocols(
+        make_workload,
+        config,
+        cell.protocols,
+        baseline=cell.baseline,
+        seeds=cell.seeds,
+        scenario=cell.scenario_name,
+        verify_rdt=cell.verify_rdt,
+    )
+    return comparison_to_payload(comp), time.perf_counter() - start
+
+
+def _cells_picklable(cells: Sequence[SweepCell]) -> bool:
+    try:
+        pickle.dumps(list(cells))
+        return True
+    except Exception:
+        return False
+
+
+def _run_cells_parallel(
+    cells: Sequence[SweepCell], workers: int
+) -> List[Tuple[bytes, float]]:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(_execute_cell, cells))
+
+
+def run_sweep(
+    x_label: str,
+    xs: Sequence[object],
+    scenario_at: ScenarioAt,
+    protocols: Sequence[str],
+    baseline: str = "fdas",
+    seeds: Sequence[int] = (0, 1, 2),
+    verify_rdt: bool = False,
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, Path, None, bool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Parallel, cached drop-in for :func:`repro.harness.sweep.ratio_sweep`.
+
+    Returns the exact :class:`SweepResult` the serial path produces for
+    the same arguments (same seeds per cell), with execution fanned out
+    over ``workers`` processes and finished cells served from ``cache``.
+
+    Parameters beyond :func:`ratio_sweep`'s:
+
+    workers:
+        Process count; ``None`` uses the scheduler-visible CPU count,
+        ``<= 1`` runs serially in-process.
+    cache:
+        ``None`` honours the ``REPRO_SWEEP_CACHE`` env var (disabled when
+        unset), ``False`` disables, a path or :class:`ResultCache`
+        enables that store.
+    progress:
+        Optional callback receiving one line per finished cell.
+
+    The populated :class:`RunnerStats` is attached to the result as
+    ``SweepResult.stats``.
+    """
+    if workers is None:
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # platforms without affinity masks
+            workers = os.cpu_count() or 1
+    store = _resolve_cache(cache)
+    cells = [
+        SweepCell(
+            x_label=x_label,
+            x=x,
+            scenario=scenario_at,
+            protocols=tuple(protocols),
+            baseline=baseline,
+            seeds=tuple(seeds),
+            verify_rdt=verify_rdt,
+        )
+        for x in xs
+    ]
+    stats = RunnerStats(workers=max(1, workers), cells_total=len(cells))
+    wall_start = time.perf_counter()
+
+    payloads: List[Optional[bytes]] = [None] * len(cells)
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(cells)
+    for i, cell in enumerate(cells):
+        if store is not None:
+            keys[i] = cell_key(cell)
+            hit = store.get_bytes(keys[i])
+            if hit is not None:
+                # A truncated/corrupted entry (disk full, manual edit) is
+                # a miss, not a crash: recompute and overwrite it.
+                try:
+                    comparison_from_payload(hit)
+                except (ValueError, KeyError, TypeError):
+                    hit = None
+            if hit is not None:
+                payloads[i] = hit
+                stats.cache_hits += 1
+                stats.cell_seconds.append(0.0)
+                if progress is not None:
+                    progress(f"[cache] {cell.scenario_name}")
+                continue
+        pending.append(i)
+
+    if pending:
+        to_run = [cells[i] for i in pending]
+        if workers > 1 and _cells_picklable(to_run):
+            stats.mode = f"process[{workers}]"
+            outcomes = _run_cells_parallel(to_run, workers)
+        else:
+            if workers > 1:
+                stats.note = "scenario not picklable; fell back to serial"
+            stats.mode = "serial"
+            outcomes = [_execute_cell(cell) for cell in to_run]
+        for i, (payload, elapsed) in zip(pending, outcomes):
+            payloads[i] = payload
+            stats.cell_seconds.append(elapsed)
+            if store is not None and keys[i] is not None:
+                store.put_bytes(keys[i], payload)
+            if progress is not None:
+                progress(f"[{elapsed:.2f}s] {cells[i].scenario_name}")
+
+    comparisons = [comparison_from_payload(p) for p in payloads]  # type: ignore[arg-type]
+    stats.wall_seconds = time.perf_counter() - wall_start
+    result = SweepResult(
+        x_label=x_label,
+        xs=list(xs),
+        comparisons=comparisons,
+        baseline=baseline,
+    )
+    result.stats = stats
+    return result

@@ -22,12 +22,18 @@ ScenarioAt = Callable[[object], Tuple[Callable[[], Workload], SimulationConfig]]
 
 @dataclass
 class SweepResult:
-    """R (and raw forced counts) as a function of the swept parameter."""
+    """R (and raw forced counts) as a function of the swept parameter.
+
+    ``stats`` is populated by :func:`repro.harness.runner.run_sweep`
+    (a :class:`~repro.harness.runner.RunnerStats`); the serial
+    :func:`ratio_sweep` leaves it ``None``.
+    """
 
     x_label: str
     xs: List[object]
     comparisons: List[ComparisonResult]
     baseline: str
+    stats: Optional[object] = None
 
     def ratio_series(self) -> Dict[str, List[Optional[float]]]:
         protocols = [agg.protocol for agg in self.comparisons[0].protocols]

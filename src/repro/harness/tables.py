@@ -59,6 +59,19 @@ def render_series(
     return render_table(rows, title=title)
 
 
+def render_runner_stats(stats, title: Optional[str] = None) -> str:
+    """One-row table of a :class:`~repro.harness.runner.RunnerStats`.
+
+    Shows worker mode, cell/cache-hit counts, worker-side busy time vs
+    wall time and the resulting speedup estimate; appends the runner's
+    note (e.g. a serial-fallback reason) when present.
+    """
+    out = render_table([stats.as_row()], title=title)
+    if getattr(stats, "note", ""):
+        out += f"\n({stats.note})"
+    return out
+
+
 def render_ascii_plot(
     xs: Sequence[float],
     series: Dict[str, Sequence[Optional[float]]],

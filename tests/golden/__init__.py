@@ -1,0 +1,8 @@
+"""Golden-trace scenario definitions and canned expected results.
+
+``scenarios.py`` pins a handful of small, fully-deterministic scenarios;
+the committed ``*.json`` files record each protocol's forced-checkpoint
+counts and R ratio for them.  ``regen.py`` rewrites the JSONs (run it
+only when a deliberate behaviour change is being made -- the diff is the
+review artifact).
+"""

@@ -1,0 +1,58 @@
+"""Regenerate the golden trace expectations.
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this to ratify a *deliberate* change in protocol behaviour;
+the resulting JSON diff is what reviewers sign off on.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "src"))
+sys.path.insert(0, str(HERE.parent.parent))
+
+from repro.harness import compare_protocols  # noqa: E402
+
+from tests.golden.scenarios import (  # noqa: E402
+    BASELINE,
+    GOLDEN_SCENARIOS,
+    PROTOCOLS,
+    SEEDS,
+)
+
+
+def main() -> None:
+    for name, (make_workload, config) in sorted(GOLDEN_SCENARIOS.items()):
+        comp = compare_protocols(
+            make_workload,
+            config,
+            PROTOCOLS,
+            baseline=BASELINE,
+            seeds=SEEDS,
+            scenario=name,
+        )
+        doc = {
+            "scenario": name,
+            "baseline": BASELINE,
+            "seeds": list(SEEDS),
+            "protocols": {
+                agg.protocol: {
+                    "forced_total": agg.forced_total,
+                    "forced_per_seed": agg.forced_per_seed,
+                    "basic_total": agg.basic_total,
+                    "messages_total": agg.messages_total,
+                    "ratio_to_baseline": agg.ratio_to_baseline,
+                }
+                for agg in comp.protocols
+            },
+        }
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The pinned golden scenarios (shared by the test and the regen script).
+
+Module-level workload factories keep the scenarios picklable, so the
+same cells can be pushed through the parallel runner unchanged.
+"""
+
+from repro.sim import SimulationConfig
+from repro.workloads import (
+    ClientServerWorkload,
+    OverlappingGroupsWorkload,
+    RandomUniformWorkload,
+)
+
+PROTOCOLS = ["bhmr", "bhmr-nosimple", "bhmr-causalonly", "cbr"]
+BASELINE = "fdas"
+SEEDS = (0, 1)
+
+
+def make_random():
+    return RandomUniformWorkload(send_rate=1.2)
+
+
+def make_groups():
+    return OverlappingGroupsWorkload(
+        group_size=3, overlap=1, send_rate=1.0, p_multicast=0.4
+    )
+
+
+def make_client_server():
+    return ClientServerWorkload(think_time=0.3, pipeline=2)
+
+
+GOLDEN_SCENARIOS = {
+    "random_n4": (
+        make_random,
+        SimulationConfig(n=4, duration=25.0, basic_rate=0.25),
+    ),
+    "groups_n8": (
+        make_groups,
+        SimulationConfig(n=8, duration=25.0, basic_rate=0.2),
+    ),
+    "client_server_n5": (
+        make_client_server,
+        SimulationConfig(n=5, duration=30.0, basic_rate=0.2),
+    ),
+}

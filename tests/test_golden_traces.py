@@ -1,0 +1,82 @@
+"""Golden-trace regression tests.
+
+Each scenario in ``tests/golden/scenarios.py`` has a committed JSON
+recording of every protocol's forced-checkpoint counts and R ratio.
+Recomputing them -- serially and through the parallel runner -- must
+reproduce the recorded values *exactly*: the parallel/cached engine
+cannot be allowed to silently change a single number.  Deliberate
+behaviour changes go through ``tests/golden/regen.py`` so the diff of
+the JSONs is reviewed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import compare_protocols, run_sweep
+
+from tests.golden.scenarios import BASELINE, GOLDEN_SCENARIOS, PROTOCOLS, SEEDS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def load_golden(name):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_direct_comparison_matches_golden(name):
+    make_workload, config = GOLDEN_SCENARIOS[name]
+    golden = load_golden(name)
+    comp = compare_protocols(
+        make_workload,
+        config,
+        PROTOCOLS,
+        baseline=BASELINE,
+        seeds=SEEDS,
+        scenario=name,
+    )
+    assert {a.protocol for a in comp.protocols} == set(golden["protocols"])
+    for agg in comp.protocols:
+        expect = golden["protocols"][agg.protocol]
+        assert agg.forced_total == expect["forced_total"], agg.protocol
+        assert agg.forced_per_seed == expect["forced_per_seed"], agg.protocol
+        assert agg.basic_total == expect["basic_total"], agg.protocol
+        assert agg.messages_total == expect["messages_total"], agg.protocol
+        # Exact float equality on purpose: the ratio is a quotient of
+        # the recorded integers, so any drift is a real behaviour change.
+        assert agg.ratio_to_baseline == expect["ratio_to_baseline"], agg.protocol
+
+
+def _scenario_at(name):
+    return GOLDEN_SCENARIOS[name]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_runner_matches_golden(workers, tmp_path):
+    """The sweep runner reproduces every golden number, serial and parallel,
+    cold and from cache."""
+    names = sorted(GOLDEN_SCENARIOS)
+    for attempt in range(2):  # second pass is served from the cache
+        sweep = run_sweep(
+            "scenario",
+            names,
+            _scenario_at,
+            PROTOCOLS,
+            baseline=BASELINE,
+            seeds=SEEDS,
+            workers=workers,
+            cache=tmp_path / f"cache-{workers}",
+        )
+        assert sweep.stats.cache_hits == (len(names) if attempt else 0)
+        for k, name in enumerate(names):
+            golden = load_golden(name)
+            comp = sweep.comparisons[k]
+            for agg in comp.protocols:
+                expect = golden["protocols"][agg.protocol]
+                assert agg.forced_total == expect["forced_total"], (name, agg.protocol)
+                assert agg.ratio_to_baseline == expect["ratio_to_baseline"], (
+                    name,
+                    agg.protocol,
+                )

@@ -1,0 +1,205 @@
+"""Property tests of the parallel sweep runner.
+
+Two guarantees, checked over hypothesis-drawn sweep shapes:
+
+* **Determinism under parallelism** -- for any xs / seeds / worker
+  count, :func:`run_sweep` produces the same :class:`SweepResult` series
+  (ratios and raw forced counts) as the serial :func:`ratio_sweep`.
+* **Cache transparency** -- a cache hit returns *byte-identical* payload
+  to the cold run that populated it, and the decoded results match.
+
+Plus direct unit tests of the cache, cell keys and seed derivation.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.harness import ratio_sweep, run_sweep
+from repro.harness.runner import (
+    ResultCache,
+    SweepCell,
+    cell_key,
+    comparison_from_payload,
+    comparison_to_payload,
+    derive_cell_seeds,
+)
+from repro.sim import SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+
+def scenario_at_rate(rate):
+    """Module-level so sweep cells stay picklable for worker processes."""
+    return (
+        lambda: RandomUniformWorkload(send_rate=1.0),
+        SimulationConfig(n=3, duration=8.0, basic_rate=rate),
+    )
+
+
+PROTOCOLS = ["bhmr"]
+
+
+@pytest.mark.tier2
+class TestDeterminismUnderParallelism:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        xs=st.lists(
+            st.sampled_from([0.05, 0.1, 0.2, 0.4, 0.8]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        seeds=st.lists(st.integers(0, 50), min_size=1, max_size=3, unique=True),
+        workers=st.integers(1, 3),
+    )
+    def test_parallel_equals_serial(self, xs, seeds, workers):
+        serial = ratio_sweep(
+            "basic_rate",
+            xs,
+            scenario_at_rate,
+            PROTOCOLS,
+            seeds=tuple(seeds),
+        )
+        parallel = run_sweep(
+            "basic_rate",
+            xs,
+            scenario_at_rate,
+            PROTOCOLS,
+            seeds=tuple(seeds),
+            workers=workers,
+            cache=False,
+        )
+        assert parallel.xs == serial.xs
+        assert parallel.ratio_series() == serial.ratio_series()
+        assert parallel.forced_series() == serial.forced_series()
+        for comp_s, comp_p in zip(serial.comparisons, parallel.comparisons):
+            assert comparison_to_payload(comp_s) == comparison_to_payload(comp_p)
+
+
+@pytest.mark.tier2
+class TestCacheTransparency:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        rate=st.sampled_from([0.1, 0.3, 0.6]),
+        seeds=st.lists(st.integers(0, 20), min_size=1, max_size=2, unique=True),
+    )
+    def test_hit_is_byte_identical_to_cold(self, tmp_path_factory, rate, seeds):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        kwargs = dict(
+            x_label="basic_rate",
+            xs=[rate],
+            scenario_at=scenario_at_rate,
+            protocols=PROTOCOLS,
+            seeds=tuple(seeds),
+            workers=1,
+            cache=cache,
+        )
+        cold = run_sweep(**kwargs)
+        assert cold.stats.cache_hits == 0
+        cell = SweepCell(
+            x_label="basic_rate",
+            x=rate,
+            scenario=scenario_at_rate,
+            protocols=tuple(PROTOCOLS),
+            baseline="fdas",
+            seeds=tuple(seeds),
+        )
+        key = cell_key(cell)
+        cold_bytes = cache.get_bytes(key)
+        assert cold_bytes is not None
+        assert comparison_to_payload(cold.comparisons[0]) == cold_bytes
+
+        warm = run_sweep(**kwargs)
+        assert warm.stats.cache_hits == 1
+        assert cache.get_bytes(key) == cold_bytes  # untouched on hit
+        assert comparison_to_payload(warm.comparisons[0]) == cold_bytes
+        assert warm.ratio_series() == cold.ratio_series()
+
+
+class TestRunnerUnits:
+    def test_cell_key_sensitivity(self):
+        base = SweepCell(
+            x_label="basic_rate",
+            x=0.2,
+            scenario=scenario_at_rate,
+            protocols=("bhmr",),
+            baseline="fdas",
+            seeds=(0, 1),
+        )
+        assert cell_key(base) == cell_key(base)
+        for variant in [
+            SweepCell(**{**base.__dict__, "x": 0.3}),
+            SweepCell(**{**base.__dict__, "seeds": (0, 2)}),
+            SweepCell(**{**base.__dict__, "protocols": ("bhmr", "cbr")}),
+            SweepCell(**{**base.__dict__, "baseline": "cbr"}),
+            SweepCell(**{**base.__dict__, "verify_rdt": True}),
+        ]:
+            assert cell_key(variant) != cell_key(base), variant
+
+    def test_payload_round_trip(self):
+        serial = ratio_sweep(
+            "basic_rate", [0.2], scenario_at_rate, PROTOCOLS, seeds=(0,)
+        )
+        comp = serial.comparisons[0]
+        clone = comparison_from_payload(comparison_to_payload(comp))
+        assert clone.scenario == comp.scenario
+        assert clone.baseline == comp.baseline
+        for a, b in zip(comp.protocols, clone.protocols):
+            assert a == b
+
+    def test_derive_cell_seeds_stable_and_decorrelated(self):
+        a = derive_cell_seeds(17, "basic_rate=0.2", 4)
+        assert a == derive_cell_seeds(17, "basic_rate=0.2", 4)
+        assert len(set(a)) == 4
+        assert a != derive_cell_seeds(17, "basic_rate=0.3", 4)
+        assert a != derive_cell_seeds(18, "basic_rate=0.2", 4)
+
+    def test_unpicklable_scenario_falls_back_to_serial(self, tmp_path):
+        local = lambda rate: (  # noqa: E731 - deliberately unpicklable
+            lambda: RandomUniformWorkload(send_rate=1.0),
+            SimulationConfig(n=3, duration=6.0, basic_rate=rate),
+        )
+        sweep = run_sweep(
+            "basic_rate",
+            [0.2, 0.4],
+            local,
+            PROTOCOLS,
+            seeds=(0,),
+            workers=4,
+            cache=False,
+        )
+        assert sweep.stats.mode == "serial"
+        assert "not picklable" in sweep.stats.note
+        serial = ratio_sweep("basic_rate", [0.2, 0.4], local, PROTOCOLS, seeds=(0,))
+        assert sweep.ratio_series() == serial.ratio_series()
+
+    def test_corrupted_cache_entry_is_a_miss(self, tmp_path):
+        kwargs = dict(
+            x_label="basic_rate",
+            xs=[0.2],
+            scenario_at=scenario_at_rate,
+            protocols=PROTOCOLS,
+            seeds=(0,),
+            workers=1,
+            cache=tmp_path,
+        )
+        cold = run_sweep(**kwargs)
+        (entry,) = tmp_path.glob("*/*.json")
+        entry.write_text("{ not json")
+        repaired = run_sweep(**kwargs)  # recomputes and overwrites the entry
+        assert repaired.stats.cache_hits == 0
+        assert repaired.ratio_series() == cold.ratio_series()
+        rehit = run_sweep(**kwargs)
+        assert rehit.stats.cache_hits == 1
+
+    def test_cache_atomic_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_bytes("ab" + "0" * 62, b"payload")
+        assert (tmp_path / "ab" / ("ab" + "0" * 62 + ".json")).read_bytes() == b"payload"
+        assert ("ab" + "0" * 62) in cache
+        assert len(cache) == 1
+        assert cache.get_bytes("ff" + "0" * 62) is None
