@@ -1,0 +1,95 @@
+"""Overhead of the observability layer on the simulation hot path.
+
+The contract of :mod:`repro.obs` is *zero overhead when disabled*: an
+uninstrumented run pays one falsy check per call site.  These benchmarks
+measure the three regimes on one mid-size replay so regressions in the
+guard pattern show up as a ratio, not a feeling:
+
+* baseline -- no tracer, no metrics, no profiler (the default path);
+* disabled tracer -- a constructed-but-off :class:`Tracer` (same falsy
+  guard, exercised through the object);
+* fully instrumented -- tracer + metrics + profiler all live.
+
+``test_disabled_matches_baseline`` asserts the disabled path stays
+within noise of the baseline; the enabled path's cost is reported for
+``docs/OBSERVABILITY.md`` but deliberately unasserted (it buffers every
+event and may legitimately cost a few times the baseline).
+"""
+
+import pytest
+
+from repro import api
+from repro.obs import MetricsRegistry, Profiler, Tracer
+
+SCENARIO = dict(
+    workload="random",
+    workload_args={"send_rate": 2.0},
+    n=6,
+    duration=40.0,
+    seed=2,
+    basic_rate=0.3,
+)
+
+
+def run_baseline():
+    return api.run(protocol="bhmr", **SCENARIO)
+
+
+def run_disabled_tracer():
+    return api.run(protocol="bhmr", tracer=Tracer(enabled=False), **SCENARIO)
+
+
+def run_instrumented():
+    return api.run(
+        protocol="bhmr",
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+        profiler=Profiler(),
+        **SCENARIO,
+    )
+
+
+def test_baseline_uninstrumented(benchmark):
+    result = benchmark(run_baseline)
+    assert result.metrics.forced_checkpoints > 0
+
+
+def test_disabled_tracer(benchmark):
+    result = benchmark(run_disabled_tracer)
+    assert result.metrics.forced_checkpoints > 0
+
+
+def test_fully_instrumented(benchmark):
+    result = benchmark(run_instrumented)
+    assert result.metrics.forced_checkpoints > 0
+
+
+def test_disabled_matches_baseline():
+    """Results (not just timings) are identical with instruments off."""
+    assert run_baseline().metrics == run_disabled_tracer().metrics
+
+
+def test_instrumented_matches_baseline():
+    """Instruments observe; they never perturb the simulation."""
+    assert run_baseline().metrics == run_instrumented().metrics
+
+
+@pytest.mark.parametrize("repeats", [3])
+def test_disabled_overhead_bounded(repeats):
+    """A coarse in-process guard: the disabled path must stay within a
+    generous factor of baseline (CI-noise tolerant; the benchmark above
+    gives the precise number)."""
+    import time
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    run_baseline()  # warm imports and caches
+    base = best_of(run_baseline)
+    disabled = best_of(run_disabled_tracer)
+    assert disabled < base * 1.5 + 0.05

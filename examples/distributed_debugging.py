@@ -15,20 +15,23 @@ offline computation and bracketing the feasible inspection window.
 
 from repro import (
     CheckpointId,
-    Simulation,
-    SimulationConfig,
+    api,
     max_consistent_gcp,
     min_consistent_gcp,
 )
 from repro.analysis import advance_candidates, count_consistent_cuts
 from repro.harness import render_table
-from repro.workloads import MasterWorkerWorkload
 
 
 def main() -> None:
-    config = SimulationConfig(n=4, duration=40.0, seed=3, basic_rate=0.3)
-    sim = Simulation(MasterWorkerWorkload(), config)
-    result = sim.run("bhmr")
+    result = api.run(
+        workload="master-worker",
+        protocol="bhmr",
+        n=4,
+        duration=40.0,
+        seed=3,
+        basic_rate=0.3,
+    )
     history = result.history
 
     # Put a "breakpoint" on each worker's second checkpoint.

@@ -17,17 +17,22 @@ example measures, for sampled output points, the *commit latency*: how
 long after the output was produced the floor catches up.
 """
 
-from repro import Simulation, SimulationConfig
+from repro import api
 from repro.clocks import event_tdvs
 from repro.harness import render_table
 from repro.recovery import global_recovery_floor
-from repro.workloads import RandomUniformWorkload
 
 
 def main() -> None:
-    config = SimulationConfig(n=3, duration=60.0, seed=8, basic_rate=0.5)
-    sim = Simulation(RandomUniformWorkload(send_rate=2.0), config)
-    result = sim.run("bhmr")
+    result = api.run(
+        workload="random",
+        workload_args={"send_rate": 2.0},
+        protocol="bhmr",
+        n=3,
+        duration=60.0,
+        seed=8,
+        basic_rate=0.5,
+    )
     history = result.history
     tdvs = event_tdvs(history)
 

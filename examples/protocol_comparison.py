@@ -8,8 +8,9 @@ checkpoint counts, the ratio R to FDAS, and piggyback overhead -- the
 same quantities Figures 7-9 report.
 """
 
+from repro import api
 from repro.core import RDT_FAMILY
-from repro.harness import compare_protocols, render_table
+from repro.harness import render_table
 from repro.sim import SimulationConfig
 from repro.workloads import (
     ClientServerWorkload,
@@ -35,11 +36,11 @@ ENVIRONMENTS = {
 
 def main() -> None:
     for name, (make_workload, config) in ENVIRONMENTS.items():
-        comparison = compare_protocols(
+        comparison = api.compare(
             make_workload,
-            config,
-            RDT_FAMILY,
+            protocols=RDT_FAMILY,
             seeds=(0, 1, 2),
+            config=config,
             scenario=name,
             verify_rdt=True,
         )

@@ -2,35 +2,43 @@
 
     python examples/quickstart.py
 
-Covers the 90%-use-case API in ~40 lines: configure a scenario, replay
+Covers the 90%-use-case API in ~40 lines, entirely through
+:mod:`repro.api` (the supported facade): configure a scenario, replay
 it under a protocol, verify Rollback-Dependency Trackability offline,
 and read the metrics the paper reports.
 """
 
-from repro import SimulationConfig, Simulation, check_rdt
+from repro import api
 from repro.harness import render_table
-from repro.workloads import RandomUniformWorkload
 
 
 def main() -> None:
     # A scenario: 4 processes, random point-to-point traffic, basic
     # (autonomous) checkpoints roughly every 5 time units per process.
-    config = SimulationConfig(n=4, duration=100.0, seed=42, basic_rate=0.2)
-    sim = Simulation(RandomUniformWorkload(send_rate=1.0), config)
+    scenario = dict(
+        workload="random",
+        workload_args={"send_rate": 1.0},
+        n=4,
+        duration=100.0,
+        seed=42,
+        basic_rate=0.2,
+    )
 
     # Replay the same communication pattern under the paper's protocol
     # and under FDAS, its strongest predecessor.
     rows = []
+    results = {}
     for protocol in ("bhmr", "fdas", "independent"):
-        result = sim.run(protocol)
-        report = check_rdt(result.history)
+        result = api.run(protocol=protocol, **scenario)
+        results[protocol] = result
+        report = api.analyze_rdt(result.history)
         row = result.metrics.as_row()
         row["RDT"] = "yes" if report.holds else f"NO ({len(report.violations)})"
         rows.append(row)
     print(render_table(rows, title="Same trace, three protocols"))
 
-    bhmr = sim.run("bhmr")
-    fdas = sim.run("fdas")
+    bhmr = results["bhmr"]
+    fdas = results["fdas"]
     saved = (
         fdas.metrics.forced_checkpoints - bhmr.metrics.forced_checkpoints
     )
@@ -47,6 +55,20 @@ def main() -> None:
     print(
         f"\nMin consistent global checkpoint containing C({pid},{index}): "
         f"{bhmr.family[pid].min_gcp_of(index)} (computed on the fly)"
+    )
+
+    # Observability rides along on the same call: a tracer yields the
+    # deterministic event log, a profiler the per-phase wall times.
+    tracer = api.Tracer()
+    profiler = api.Profiler()
+    api.run(protocol="bhmr", tracer=tracer, profiler=profiler, **scenario)
+    forced = tracer.of_kind("proto.forced")
+    print(
+        f"\nTraced {len(tracer)} events ({len(forced)} forced-checkpoint "
+        "decisions, each with the predicate's piggyback input); phases: "
+        + "  ".join(
+            f"{k}={v:.3f}s" for k, v in sorted(profiler.snapshot().items())
+        )
     )
 
 

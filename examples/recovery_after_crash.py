@@ -10,16 +10,21 @@ independent checkpointing, once under the BHMR protocol -- to see the
 domino effect appear and disappear.
 """
 
-from repro import CrashSpec, Simulation, SimulationConfig, recovery_line
+from repro import CrashSpec, api, recovery_line
 from repro.harness import render_table
 from repro.recovery import build_sender_logs, replay_plan
-from repro.workloads import RandomUniformWorkload
 
 
 def crash_and_recover(protocol: str, seed: int = 7):
-    config = SimulationConfig(n=3, duration=40.0, seed=seed, basic_rate=0.4)
-    sim = Simulation(RandomUniformWorkload(send_rate=2.0), config)
-    history = sim.run(protocol).history
+    history = api.run(
+        workload="random",
+        workload_args={"send_rate": 2.0},
+        protocol=protocol,
+        n=3,
+        duration=40.0,
+        seed=seed,
+        basic_rate=0.4,
+    ).history
 
     # P1 crashes at simulated time 30; its volatile tail is lost.
     crash = {1: CrashSpec(1, at_time=30.0)}

@@ -16,28 +16,33 @@ shows:
 * BCS's consolation prize: its index lines are free consistent cuts.
 """
 
-from repro import Simulation, SimulationConfig, check_rdt, useless_checkpoints
+from repro import api
 from repro.core import bcs_index_cut, max_index
 from repro.events import render_space_time
 from repro.harness import render_table
-from repro.workloads import RandomUniformWorkload
 
 
 def main() -> None:
-    config = SimulationConfig(n=3, duration=40.0, seed=11, basic_rate=0.4)
-    sim = Simulation(RandomUniformWorkload(send_rate=1.5), config)
+    scenario = dict(
+        workload="random",
+        workload_args={"send_rate": 1.5},
+        n=3,
+        duration=40.0,
+        seed=11,
+        basic_rate=0.4,
+    )
 
     rows = []
     results = {}
     for protocol in ("bcs", "bhmr", "fdas"):
-        res = sim.run(protocol)
+        res = api.run(protocol=protocol, **scenario)
         results[protocol] = res
-        report = check_rdt(res.history)
+        report = api.analyze_rdt(res.history)
         rows.append(
             {
                 "protocol": protocol,
                 "forced": res.metrics.forced_checkpoints,
-                "useless ckpts": len(useless_checkpoints(res.history)),
+                "useless ckpts": len(api.useless_checkpoints(res.history)),
                 "RDT": "yes" if report.holds else f"NO ({len(report.violations)})",
                 "bits/msg": round(res.metrics.piggyback_bits_per_message, 1),
             }
@@ -51,11 +56,16 @@ def main() -> None:
         print(f"  q={q}: {bcs_index_cut(bcs.family, q, bcs.history)}")
 
     print("\nA small slice of the BCS pattern (note the forced [x] boxes):")
-    small = Simulation(
-        RandomUniformWorkload(send_rate=1.0),
-        SimulationConfig(n=3, duration=8.0, seed=5, basic_rate=0.4),
+    small = api.run(
+        workload="random",
+        workload_args={"send_rate": 1.0},
+        protocol="bcs",
+        n=3,
+        duration=8.0,
+        seed=5,
+        basic_rate=0.4,
     )
-    print(render_space_time(small.run("bcs").history, max_width=100))
+    print(render_space_time(small.history, max_width=100))
 
 
 if __name__ == "__main__":

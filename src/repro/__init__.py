@@ -18,7 +18,9 @@ here; subpackages hold the full API:
 * :mod:`repro.core` -- the protocols (BHMR, FDAS, classical, CL);
 * :mod:`repro.sim` -- the discrete-event testbed;
 * :mod:`repro.workloads` -- the evaluation environments;
-* :mod:`repro.harness` -- comparisons, sweeps, tables.
+* :mod:`repro.harness` -- comparisons, sweeps, tables;
+* :mod:`repro.obs` -- tracing, metrics, profiling instruments;
+* :mod:`repro.api` -- the blessed high-level facade (start here).
 """
 
 from repro.analysis import (
@@ -48,6 +50,7 @@ from repro.events import (
     validate_history,
 )
 from repro.graph import RGraph, ZPathAnalyzer
+from repro.obs import MetricsRegistry, MetricsSnapshot, Profiler, Tracer
 from repro.recovery import CrashSpec, domino_report, recovery_line
 from repro.sim import ReplayResult, Simulation, SimulationConfig, run_scenario
 from repro.types import (
@@ -70,7 +73,10 @@ __all__ = [
     "CrashSpec",
     "FDASProtocol",
     "History",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "PROTOCOLS",
+    "Profiler",
     "PatternBuilder",
     "PatternError",
     "ProtocolError",
@@ -81,6 +87,7 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SimulationError",
+    "Tracer",
     "WORKLOADS",
     "ZPathAnalyzer",
     "__version__",

@@ -1,0 +1,319 @@
+"""The blessed public surface of the reproduction, in one module.
+
+Everything a user (or the CLI, or the examples) needs rides behind four
+keyword-only entrypoints plus the analysis and observability types:
+
+* :func:`run` -- one workload under one protocol, returns the
+  :class:`~repro.sim.replay.ReplayResult`;
+* :func:`compare` -- several protocols over the same traces, returns the
+  :class:`~repro.harness.experiment.ComparisonResult`;
+* :func:`sweep` -- a figure-style parameter sweep through the parallel
+  cached runner, returns the :class:`~repro.harness.sweep.SweepResult`;
+* :func:`analyze_rdt` / :func:`find_z_cycles` /
+  :func:`useless_checkpoints` -- the paper's offline characterizations;
+* :class:`Tracer` / :mod:`metrics <repro.obs.metrics>` /
+  :class:`Profiler` -- the observability instruments, accepted by every
+  entrypoint via ``tracer=`` / ``metrics=`` / ``profiler=``.
+
+Scenario arguments are uniform across entrypoints: a workload is named
+by its registry string (``workload="random"``, constructor overrides in
+``workload_args``), or passed as a ready :class:`Workload` instance or
+zero-argument factory; the environment is either an explicit
+:class:`SimulationConfig` via ``config=`` or the common knobs ``n`` /
+``duration`` / ``seed`` / ``basic_rate``.  When a workload is named by
+string, sweep scenarios stay picklable, so the process-pool backend
+works out of the box.
+
+Deeper layers (:mod:`repro.sim`, :mod:`repro.harness`, :mod:`repro.graph`)
+remain importable for power users, but this module is the surface the
+CLI and examples are built on and the one the README documents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.analysis import check_rdt, find_z_cycles, useless_checkpoints
+from repro.analysis.rdt import RDTReport
+from repro.events.history import History
+from repro.harness.experiment import ComparisonResult, compare_protocols
+from repro.harness.runner import ResultCache, RunnerStats, run_sweep
+from repro.harness.sweep import SweepResult
+from repro.obs import metrics  # noqa: F401  (re-exported module)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.profile import Profiler
+from repro.obs.tracer import Tracer
+from repro.sim import ReplayResult, Simulation, SimulationConfig
+from repro.types import SimulationError
+from repro.workloads import WORKLOADS
+from repro.workloads.base import Workload
+
+__all__ = [
+    "ComparisonResult",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Profiler",
+    "RDTReport",
+    "ReplayResult",
+    "ResultCache",
+    "RunnerStats",
+    "SimulationConfig",
+    "SweepResult",
+    "Tracer",
+    "analyze_rdt",
+    "compare",
+    "find_z_cycles",
+    "metrics",
+    "run",
+    "sweep",
+    "useless_checkpoints",
+]
+
+#: How a caller may specify the workload of a scenario.
+WorkloadSpec = Union[str, Workload, Callable[[], Workload]]
+
+
+# ----------------------------------------------------------------------
+# scenario plumbing (module-level classes so sweep cells stay picklable)
+# ----------------------------------------------------------------------
+class _WorkloadFactory:
+    """Builds the named registry workload; picklable by construction."""
+
+    def __init__(self, name: str, kwargs: Dict[str, object]) -> None:
+        if name not in WORKLOADS:
+            known = ", ".join(sorted(WORKLOADS))
+            raise SimulationError(f"unknown workload {name!r}; known: {known}")
+        self.name = name
+        self.kwargs = dict(kwargs)
+
+    def __call__(self) -> Workload:
+        return WORKLOADS[self.name](**self.kwargs)
+
+
+class _ConstFactory:
+    """Wraps a ready workload instance (one scenario, reused per seed)."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def __call__(self) -> Workload:
+        return self.workload
+
+
+def _workload_factory(
+    workload: WorkloadSpec, workload_args: Optional[Dict[str, object]]
+) -> Callable[[], Workload]:
+    if isinstance(workload, str):
+        return _WorkloadFactory(workload, workload_args or {})
+    if workload_args:
+        raise SimulationError(
+            "workload_args only apply when the workload is named by string"
+        )
+    if isinstance(workload, Workload):
+        return _ConstFactory(workload)
+    if callable(workload):
+        return workload
+    raise SimulationError(f"cannot build a workload from {workload!r}")
+
+
+def _resolve_config(
+    config: Optional[SimulationConfig],
+    n: Optional[int],
+    duration: Optional[float],
+    seed: Optional[int],
+    basic_rate: Optional[float],
+) -> SimulationConfig:
+    """An explicit config wins; otherwise the common knobs fill defaults."""
+    if config is not None:
+        if any(v is not None for v in (n, duration, seed, basic_rate)):
+            raise SimulationError(
+                "pass either config= or the n/duration/seed/basic_rate "
+                "knobs, not both"
+            )
+        return config
+    kwargs: Dict[str, object] = {}
+    if n is not None:
+        kwargs["n"] = n
+    if duration is not None:
+        kwargs["duration"] = duration
+    if seed is not None:
+        kwargs["seed"] = seed
+    if basic_rate is not None:
+        kwargs["basic_rate"] = basic_rate
+    return SimulationConfig(**kwargs)  # type: ignore[arg-type]
+
+
+class _ScenarioAt:
+    """``x -> (workload factory, config)`` varying one config field.
+
+    Picklable whenever the workload factory is, which keeps the default
+    sweep eligible for the process-pool backend.
+    """
+
+    VARIABLE = ("n", "duration", "seed", "basic_rate")
+
+    def __init__(
+        self,
+        make_workload: Callable[[], Workload],
+        base_config: SimulationConfig,
+        x_label: str,
+    ) -> None:
+        if x_label not in self.VARIABLE:
+            raise SimulationError(
+                f"cannot sweep {x_label!r}; sweepable: {', '.join(self.VARIABLE)}"
+            )
+        self.make_workload = make_workload
+        self.config_kwargs = dict(base_config.__dict__)
+        self.x_label = x_label
+
+    def __call__(self, x: object):
+        kwargs = dict(self.config_kwargs)
+        kwargs[self.x_label] = int(x) if self.x_label == "n" else x
+        return self.make_workload, SimulationConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# entrypoints
+# ----------------------------------------------------------------------
+def run(
+    workload: WorkloadSpec = "random",
+    *,
+    protocol: str = "bhmr",
+    workload_args: Optional[Dict[str, object]] = None,
+    config: Optional[SimulationConfig] = None,
+    n: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: Optional[int] = None,
+    basic_rate: Optional[float] = None,
+    close: bool = True,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
+) -> ReplayResult:
+    """Simulate one workload under one protocol; return the replay."""
+    sim = Simulation(
+        _workload_factory(workload, workload_args)(),
+        _resolve_config(config, n, duration, seed, basic_rate),
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
+    )
+    return sim.run(protocol, close=close)
+
+
+def compare(
+    workload: WorkloadSpec = "random",
+    *,
+    protocols: Sequence[str] = ("bhmr", "fdas", "cbr"),
+    baseline: str = "fdas",
+    seeds: Sequence[int] = (0, 1, 2),
+    verify_rdt: bool = False,
+    workload_args: Optional[Dict[str, object]] = None,
+    config: Optional[SimulationConfig] = None,
+    n: Optional[int] = None,
+    duration: Optional[float] = None,
+    basic_rate: Optional[float] = None,
+    scenario: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
+) -> ComparisonResult:
+    """Replay the same traces under several protocols, aggregated over seeds."""
+    make_workload = _workload_factory(workload, workload_args)
+    if scenario is None:
+        scenario = workload if isinstance(workload, str) else "scenario"
+    return compare_protocols(
+        make_workload,
+        _resolve_config(config, n, duration, None, basic_rate),
+        protocols,
+        baseline=baseline,
+        seeds=seeds,
+        scenario=scenario,
+        verify_rdt=verify_rdt,
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
+    )
+
+
+def sweep(
+    workload: WorkloadSpec = "random",
+    *,
+    xs: Sequence[object] = (0.05, 0.1, 0.2, 0.5),
+    x_label: str = "basic_rate",
+    protocols: Sequence[str] = ("bhmr",),
+    baseline: str = "fdas",
+    seeds: Sequence[int] = (0, 1),
+    verify_rdt: bool = False,
+    backend: str = "auto",
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None, bool] = False,
+    workload_args: Optional[Dict[str, object]] = None,
+    config: Optional[SimulationConfig] = None,
+    n: Optional[int] = None,
+    duration: Optional[float] = None,
+    basic_rate: Optional[float] = None,
+    scenario_at=None,
+    progress: Optional[Callable[[str], None]] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
+) -> SweepResult:
+    """R as a function of one swept scenario knob, via the cached runner.
+
+    ``x_label`` names the :class:`SimulationConfig` field the sweep
+    varies (default the paper's ``basic_rate``); ``scenario_at``
+    overrides the scenario factory entirely for custom sweeps.
+
+    ``backend`` picks the execution strategy: ``"serial"`` pins one
+    in-process worker, ``"process"`` requires the process pool (with
+    ``workers`` processes, default CPU count), ``"auto"`` lets the
+    runner decide (parallel when picklable and CPUs allow, serial
+    otherwise -- results are bit-identical either way).  ``cache``
+    defaults to off; pass a path or :class:`ResultCache` to memoise
+    cells, or ``None`` to honour the ``REPRO_SWEEP_CACHE`` env var.
+    """
+    if backend not in ("auto", "serial", "process"):
+        raise SimulationError(
+            f"unknown backend {backend!r}; use auto, serial or process"
+        )
+    if backend == "serial":
+        workers = 1
+    elif backend == "process" and workers is None:
+        workers = None  # run_sweep resolves to the visible CPU count
+    if scenario_at is None:
+        scenario_at = _ScenarioAt(
+            _workload_factory(workload, workload_args),
+            _resolve_config(config, n, duration, None, basic_rate),
+            x_label,
+        )
+    return run_sweep(
+        x_label,
+        xs,
+        scenario_at,
+        protocols,
+        baseline=baseline,
+        seeds=seeds,
+        verify_rdt=verify_rdt,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
+    )
+
+
+def analyze_rdt(
+    history: History,
+    *,
+    method: str = "tdv",
+    max_violations: Optional[int] = None,
+) -> RDTReport:
+    """Check Rollback-Dependency Trackability of a recorded pattern.
+
+    A keyword-only wrapper over :func:`repro.analysis.check_rdt` (the
+    richer knobs -- prebuilt R-graphs, closure strategy -- remain on the
+    underlying function).
+    """
+    return check_rdt(history, method=method, max_violations=max_violations)

@@ -1,5 +1,8 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Built on :mod:`repro.api`, the supported facade; commands add only
+argument parsing and rendering.
+
 Commands
 --------
 ``run``      simulate one workload under one protocol, print metrics
@@ -9,11 +12,18 @@ Commands
 ``recover``  crash a process mid-run and print the recovery line
 ``protocols``/``workloads``  list the registries
 
+``run``/``compare``/``sweep`` share the observability flags:
+``--trace FILE`` writes the deterministic JSONL event trace,
+``--metrics`` collects and prints the metrics registry, ``--profile``
+prints per-phase wall times, and ``--json`` switches the whole output
+to one canonical machine-readable JSON document.
+
 Examples::
 
     python -m repro run --workload client-server --protocol bhmr -n 6
     python -m repro compare --workload random -n 6 --seeds 0 1 2
-    python -m repro sweep --workload groups -n 9
+    python -m repro sweep --workload groups -n 9 --metrics --json
+    python -m repro run --protocol bhmr --trace run.jsonl --profile
     python -m repro analyze figure1
     python -m repro recover --protocol bhmr --crash-pid 1 --crash-time 30
 """
@@ -21,13 +31,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis import check_rdt, find_z_cycles, useless_checkpoints
+from repro import api
+from repro.analysis import find_z_cycles, useless_checkpoints
 from repro.core import PROTOCOLS, RDT_FAMILY
 from repro.events import figure1_pattern, ping_pong_domino_pattern
-from repro.harness import compare_protocols, ratio_sweep, render_series, render_table
+from repro.harness import render_runner_stats, render_series, render_table
+from repro.obs import MetricsRegistry, Profiler, Tracer, canonical_dumps
 from repro.recovery import CrashSpec, recovery_line, replay_plan
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads import WORKLOADS
@@ -64,6 +77,20 @@ def _make_workload(args):
     return lambda: cls(**kwargs)
 
 
+def _workload_spec(args) -> Dict[str, object]:
+    """The facade's workload/config kwargs for one scenario command."""
+    if args.workload not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SystemExit(f"unknown workload {args.workload!r}; known: {known}")
+    return {
+        "workload": args.workload,
+        "workload_args": _workload_kwargs(getattr(args, "workload_arg", None)),
+        "n": args.n,
+        "duration": args.duration,
+        "basic_rate": args.basic_rate,
+    }
+
+
 def _config(args, seed: Optional[int] = None) -> SimulationConfig:
     return SimulationConfig(
         n=args.n,
@@ -87,64 +114,176 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--basic-rate", type=float, default=0.2)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the deterministic JSONL event trace to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and report the metrics registry",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-phase wall-clock timings",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one canonical JSON document instead of tables",
+    )
+
+
+class _Obs:
+    """The per-command observability bundle parsed from the flags."""
+
+    def __init__(self, args) -> None:
+        self.trace_path: Optional[str] = getattr(args, "trace", None)
+        self.tracer = Tracer() if self.trace_path else None
+        self.registry = MetricsRegistry() if getattr(args, "metrics", False) else None
+        self.profiler = Profiler() if getattr(args, "profile", False) else None
+        self.json = bool(getattr(args, "json", False))
+
+    def kwargs(self) -> Dict[str, object]:
+        return {
+            "tracer": self.tracer,
+            "metrics": self.registry,
+            "profiler": self.profiler,
+        }
+
+    def finish(self, doc: Dict[str, object]) -> None:
+        """Write the trace file; report obs either into ``doc`` (json
+        mode) or as trailing tables/lines on stdout."""
+        if self.tracer is not None:
+            events = self.tracer.write(self.trace_path)
+            if self.json:
+                doc["trace"] = {"file": self.trace_path, "events": events}
+            else:
+                print(f"trace: {events} events -> {self.trace_path}")
+        if self.registry is not None:
+            snapshot = self.registry.snapshot()
+            if self.json:
+                doc["metrics"] = snapshot.to_dict()
+            else:
+                rows = [
+                    {"metric": name, "value": value}
+                    for name, value in sorted(snapshot.counters.items())
+                ] + [
+                    {"metric": name, "value": value}
+                    for name, value in sorted(snapshot.gauges.items())
+                ]
+                if rows:
+                    print(render_table(rows, title="metrics"))
+        if self.profiler is not None:
+            phases = self.profiler.snapshot()
+            if self.json:
+                doc["profile"] = phases
+            elif phases:
+                print(
+                    "profile: "
+                    + "  ".join(
+                        f"{name}={phases[name]:.3f}s" for name in sorted(phases)
+                    )
+                )
+
+    def emit(self, doc: Dict[str, object]) -> None:
+        """In json mode, print the finished document (the only output)."""
+        if self.json:
+            print(canonical_dumps(doc))
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
 def cmd_run(args) -> int:
-    sim = Simulation(_make_workload(args)(), _config(args))
-    result = sim.run(args.protocol)
-    print(render_table([result.metrics.as_row()], title=f"run: {args.protocol}"))
+    obs = _Obs(args)
+    result = api.run(
+        protocol=args.protocol,
+        seed=args.seed,
+        **_workload_spec(args),
+        **obs.kwargs(),
+    )
+    doc: Dict[str, object] = {
+        "command": "run",
+        "workload": args.workload,
+        "protocol": args.protocol,
+        "seed": args.seed,
+        "run": dataclasses.asdict(result.metrics),
+    }
+    if not obs.json:
+        print(render_table([result.metrics.as_row()], title=f"run: {args.protocol}"))
     if args.save:
         from repro.events import save_history
 
         save_history(result.history, args.save)
-        print(f"history saved to {args.save}")
+        if not obs.json:
+            print(f"history saved to {args.save}")
+        doc["saved"] = args.save
+    code = 0
     if args.check_rdt:
-        report = check_rdt(result.history)
-        print(f"RDT: {'holds' if report.holds else report}")
+        report = api.analyze_rdt(result.history)
+        doc["rdt"] = report.holds
+        if not obs.json:
+            print(f"RDT: {'holds' if report.holds else report}")
         if not report.holds:
-            return 1
-    return 0
+            code = 1
+    obs.finish(doc)
+    obs.emit(doc)
+    return code
 
 
 def cmd_compare(args) -> int:
-    comparison = compare_protocols(
-        _make_workload(args),
-        _config(args),
-        args.protocols,
+    obs = _Obs(args)
+    comparison = api.compare(
+        protocols=args.protocols,
         baseline=args.baseline,
         seeds=args.seeds,
-        scenario=args.workload,
         verify_rdt=args.check_rdt,
+        **_workload_spec(args),
+        **obs.kwargs(),
     )
-    print(render_table(comparison.rows(), title=f"compare: {args.workload}"))
+    doc: Dict[str, object] = {"command": "compare", "compare": comparison.to_dict()}
+    if not obs.json:
+        print(render_table(comparison.rows(), title=f"compare: {args.workload}"))
+    obs.finish(doc)
+    obs.emit(doc)
     return 0
 
 
 def cmd_sweep(args) -> int:
-    workload_factory = _make_workload(args)
-
-    def scenario_at(rate):
-        return workload_factory, SimulationConfig(
-            n=args.n, duration=args.duration, basic_rate=rate
-        )
-
-    sweep = ratio_sweep(
-        "basic_rate",
-        args.rates,
-        scenario_at,
-        args.protocols,
+    obs = _Obs(args)
+    # --metrics/--profile want per-phase timings and cache-hit counters
+    # in the report even when the caller did not pass registries down;
+    # the runner collects them whenever any instrument is active.
+    sweep = api.sweep(
+        xs=args.rates,
+        x_label="basic_rate",
+        protocols=args.protocols,
         baseline=args.baseline,
         seeds=args.seeds,
+        backend=args.backend,
+        workers=args.workers,
+        cache=args.cache if args.cache is not None else False,
+        **_workload_spec(args),
+        **obs.kwargs(),
     )
-    print(
-        render_series(
-            "basic_rate",
-            sweep.xs,
-            sweep.ratio_series(),
-            title=f"sweep: {args.workload} (R vs basic rate)",
+    doc: Dict[str, object] = {"command": "sweep", "sweep": sweep.to_dict()}
+    if not obs.json:
+        print(
+            render_series(
+                "basic_rate",
+                sweep.xs,
+                sweep.ratio_series(),
+                title=f"sweep: {args.workload} (R vs basic rate)",
+            )
         )
-    )
+        if sweep.stats is not None and (obs.registry or obs.profiler):
+            print(render_runner_stats(sweep.stats, title="runner"))
+    obs.finish(doc)
+    obs.emit(doc)
     return 0
 
 
@@ -162,7 +301,7 @@ def cmd_analyze(args) -> int:
     else:  # a fresh simulated run
         sim = Simulation(_make_workload(args)(), _config(args))
         history = sim.run(args.protocol).history
-    report = check_rdt(history)
+    report = api.analyze_rdt(history)
     print(f"pattern:     {history!r}")
     print(f"RDT:         {'holds' if report.holds else 'VIOLATED'}")
     for violation in report.violations[: args.max_violations]:
@@ -228,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="one workload under one protocol")
     _add_scenario_args(p)
+    _add_obs_args(p)
     p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
     p.add_argument("--check-rdt", action="store_true")
     p.add_argument("--save", metavar="PATH", help="save the history as JSON")
@@ -235,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="several protocols, same traces")
     _add_scenario_args(p)
+    _add_obs_args(p)
     p.add_argument(
         "--protocols", nargs="+", default=["bhmr", "fdas", "cbr"],
         choices=sorted(PROTOCOLS),
@@ -246,12 +387,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="R vs basic checkpoint rate")
     _add_scenario_args(p)
+    _add_obs_args(p)
     p.add_argument(
         "--rates", nargs="+", type=float, default=[0.05, 0.1, 0.2, 0.5]
     )
     p.add_argument("--protocols", nargs="+", default=["bhmr"])
     p.add_argument("--baseline", default="fdas")
     p.add_argument("--seeds", nargs="+", type=int, default=[0, 1])
+    p.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "serial", "process"],
+        help="sweep execution backend (default: auto)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    p.add_argument(
+        "--cache", metavar="DIR", default=None, help="result-cache directory"
+    )
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("analyze", help="RDT analysis of a pattern")

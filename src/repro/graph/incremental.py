@@ -26,20 +26,39 @@ over real (non-frontier) checkpoints is bit-identical to the batch
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.events.history import History
 from repro.graph.reachability import IncrementalClosure
 from repro.types import CheckpointId, PatternError, ProcessId
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
 
 class IncrementalRGraph:
-    """R-graph of a pattern under construction, with online closure."""
+    """R-graph of a pattern under construction, with online closure.
 
-    def __init__(self, n: int) -> None:
+    Optionally instrumented: ``tracer`` receives ``closure.node`` /
+    ``closure.edge`` events (the latter with the number of bitsets the
+    closure actually updated), ``metrics`` maintains ``closure.nodes``,
+    ``closure.edges`` and ``closure.edge_updates``.  Feed methods accept
+    the simulation time ``t`` purely to stamp those events; it defaults
+    to 0.0 and has no semantic effect.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         if n <= 0:
             raise PatternError("an R-graph needs at least one process")
         self._n = n
+        self.tracer = tracer
+        self.metrics = metrics
         self._closure = IncrementalClosure()
         self._nodes: List[CheckpointId] = []
         self._id_of: Dict[CheckpointId, int] = {}
@@ -55,16 +74,31 @@ class IncrementalRGraph:
     # ------------------------------------------------------------------
     # construction feed
     # ------------------------------------------------------------------
-    def _new_node(self, cid: CheckpointId) -> int:
+    def _new_node(self, cid: CheckpointId, t: float = 0.0) -> int:
         node = self._closure.add_node()
         self._id_of[cid] = node
         self._nodes.append(cid)
+        if self.tracer:
+            self.tracer.event("closure.node", t, pid=cid.pid, index=cid.index)
+        if self.metrics is not None:
+            self.metrics.set("closure.nodes", len(self._nodes))
         return node
 
-    def _add_edge(self, a: CheckpointId, b: CheckpointId) -> None:
-        self._closure.add_edge(self._id_of[a], self._id_of[b])
+    def _add_edge(self, a: CheckpointId, b: CheckpointId, t: float = 0.0) -> None:
+        touched = self._closure.add_edge(self._id_of[a], self._id_of[b])
+        if self.tracer:
+            self.tracer.event(
+                "closure.edge",
+                t,
+                src=[a.pid, a.index],
+                dst=[b.pid, b.index],
+                touched=touched,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("closure.edges")
+            self.metrics.inc("closure.edge_updates", touched)
 
-    def take_checkpoint(self, pid: ProcessId) -> CheckpointId:
+    def take_checkpoint(self, pid: ProcessId, t: float = 0.0) -> CheckpointId:
         """Process ``pid`` takes its next checkpoint.
 
         The existing frontier node becomes the concrete checkpoint
@@ -74,8 +108,8 @@ class IncrementalRGraph:
         taken = CheckpointId(pid, self._last_index[pid] + 1)
         self._last_index[pid] = taken.index
         frontier = CheckpointId(pid, taken.index + 1)
-        self._new_node(frontier)
-        self._add_edge(taken, frontier)
+        self._new_node(frontier, t)
+        self._add_edge(taken, frontier, t)
         return taken
 
     def observe_delivery(
@@ -84,6 +118,7 @@ class IncrementalRGraph:
         send_interval: int,
         dst: ProcessId,
         deliver_interval: Optional[int] = None,
+        t: float = 0.0,
     ) -> None:
         """Record the delivery of one message as an R-graph edge.
 
@@ -106,11 +141,18 @@ class IncrementalRGraph:
                 f"(frontier is {self._last_index[dst] + 1})"
             )
         self._add_edge(
-            CheckpointId(src, send_interval), CheckpointId(dst, deliver_interval)
+            CheckpointId(src, send_interval),
+            CheckpointId(dst, deliver_interval),
+            t,
         )
 
     @classmethod
-    def from_history(cls, history: History) -> "IncrementalRGraph":
+    def from_history(
+        cls,
+        history: History,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "IncrementalRGraph":
         """Replay a (closed) history's events in time order.
 
         Equivalent to what a live simulation feed would have produced;
@@ -118,12 +160,12 @@ class IncrementalRGraph:
         real checkpoints.
         """
         history = history.closed()
-        inc = cls(history.num_processes)
+        inc = cls(history.num_processes, tracer=tracer, metrics=metrics)
         for event in history.events_by_time():
             if event.is_checkpoint:
                 if event.checkpoint_index == 0:
                     continue  # initial checkpoints exist from construction
-                taken = inc.take_checkpoint(event.pid)
+                taken = inc.take_checkpoint(event.pid, t=event.time)
                 assert taken.index == event.checkpoint_index
             elif event.is_deliver:
                 m = history.message(event.msg_id)
@@ -132,6 +174,7 @@ class IncrementalRGraph:
                     history.send_interval(m),
                     m.dst,
                     history.deliver_interval(m),
+                    t=event.time,
                 )
         return inc
 

@@ -222,6 +222,13 @@ def _iter_bits(mask: int) -> Iterator[int]:
         mask ^= lsb
 
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
 class IncrementalClosure:
     """Transitive closure maintained online under edge/node insertion.
 
@@ -266,16 +273,19 @@ class IncrementalClosure:
         self._succ.append(set())
         return len(self._reach) - 1
 
-    def add_edge(self, u: int, v: int) -> None:
+    def add_edge(self, u: int, v: int) -> int:
+        """Insert ``u -> v``; returns how many node bitsets were updated
+        (0 for a duplicate or already-implied edge), the natural unit of
+        closure work for the ``closure.edge_updates`` metric."""
         if v in self._succ[u]:
-            return
+            return 0
         self._succ[u].add(v)
         self._num_edges += 1
         delta = self._reach[v] | (1 << v)
         if self._reach[u] & delta == delta:
             # u already reached v and everything past it; by closure
             # invariance so did everything reaching u.  Nothing changes.
-            return
+            return 0
         rdelta = self._rreach[u] | (1 << u)
         # Snapshot both deltas before mutating: v (or u) may itself be
         # among the updated nodes when the edge closes a cycle.
@@ -283,6 +293,7 @@ class IncrementalClosure:
             self._reach[w] |= delta
         for w in _iter_bits(delta):
             self._rreach[w] |= rdelta
+        return _popcount(rdelta) + _popcount(delta)
 
     def num_edges(self) -> int:
         return self._num_edges

@@ -12,11 +12,17 @@ averaged over several seeds.  :func:`compare_protocols` produces the per
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis import check_rdt
+from repro.obs.profile import NULL_PROFILER
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import Profiler
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -75,6 +81,25 @@ class ProtocolAggregate:
             "RDT": "yes" if self.rdt_ok else "NO",
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Field-for-field dict; canonical-JSON safe and round-trippable."""
+        return {
+            "protocol": self.protocol,
+            "seeds": self.seeds,
+            "forced_total": self.forced_total,
+            "basic_total": self.basic_total,
+            "messages_total": self.messages_total,
+            "piggyback_bits_total": self.piggyback_bits_total,
+            "rdt_ok": self.rdt_ok,
+            "ratio_to_baseline": self.ratio_to_baseline,
+            "forced_per_seed": list(self.forced_per_seed),
+            "ratio_per_seed": list(self.ratio_per_seed),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "ProtocolAggregate":
+        return cls(**doc)  # type: ignore[arg-type]
+
 
 @dataclass
 class ComparisonResult:
@@ -96,6 +121,26 @@ class ComparisonResult:
     def rows(self) -> List[Dict[str, object]]:
         return [agg.as_row() for agg in self.protocols]
 
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical document -- also the result cache's payload
+        (via :func:`repro.obs.jsonio.canonical_bytes`)."""
+        return {
+            "scenario": self.scenario,
+            "baseline": self.baseline,
+            "protocols": [agg.to_dict() for agg in self.protocols],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "ComparisonResult":
+        return cls(
+            scenario=doc["scenario"],  # type: ignore[arg-type]
+            baseline=doc["baseline"],  # type: ignore[arg-type]
+            protocols=[
+                ProtocolAggregate.from_dict(entry)
+                for entry in doc["protocols"]  # type: ignore[union-attr]
+            ],
+        )
+
 
 def compare_protocols(
     make_workload: Callable[[], Workload],
@@ -105,13 +150,21 @@ def compare_protocols(
     seeds: Sequence[int] = (0, 1, 2),
     scenario: str = "scenario",
     verify_rdt: bool = False,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    profiler: Optional["Profiler"] = None,
 ) -> ComparisonResult:
     """Replay every protocol over the same traces, aggregate over seeds.
 
     ``verify_rdt=True`` additionally runs the RDT checker on every
     produced pattern (slower; benchmarks enable it on smaller runs).
     The baseline is included automatically if absent from ``protocols``.
+
+    The observability instruments thread down into generation and replay
+    (see :class:`repro.sim.Simulation`); RDT verification is attributed
+    to the ``analyze`` phase.  None of them changes a single result.
     """
+    profiler = profiler or NULL_PROFILER
     names = list(protocols)
     if baseline not in names:
         names.append(baseline)
@@ -129,7 +182,13 @@ def compare_protocols(
     for seed in seeds:
         cfg_kwargs = dict(config.__dict__)
         cfg_kwargs["seed"] = seed
-        sim = Simulation(make_workload(), SimulationConfig(**cfg_kwargs))
+        sim = Simulation(
+            make_workload(),
+            SimulationConfig(**cfg_kwargs),
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
+        )
         for name in names:
             res = sim.run(name)
             bucket = totals[name]
@@ -138,8 +197,13 @@ def compare_protocols(
             bucket["messages"] += res.metrics.messages_delivered
             bucket["bits"] += res.metrics.piggyback_bits_total
             bucket["per_seed"].append(res.metrics.forced_checkpoints)
-            if verify_rdt and not check_rdt(res.history).holds:
-                bucket["rdt"] = False
+            if verify_rdt:
+                with profiler.phase("analyze"):
+                    holds = check_rdt(res.history).holds
+                if not holds:
+                    bucket["rdt"] = False
+                if metrics is not None:
+                    metrics.inc("analyze.rdt_checks")
     baseline_forced = totals[baseline]["forced"]
     baseline_per_seed = totals[baseline]["per_seed"]
     aggregates = []

@@ -39,17 +39,26 @@ import multiprocessing
 import os
 import pickle
 import time
+from functools import partial
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
-
-from repro.harness.experiment import (
-    ComparisonResult,
-    ProtocolAggregate,
-    compare_protocols,
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
 )
+
+from repro.harness.experiment import ComparisonResult, compare_protocols
 from repro.harness.sweep import ScenarioAt, SweepResult
+from repro.obs.jsonio import canonical_bytes, canonical_dumps, jsonable
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.profile import Profiler
 
 __all__ = [
     "ResultCache",
@@ -84,17 +93,6 @@ class SweepCell:
         return f"{self.x_label}={self.x}"
 
 
-def _jsonable(value: object) -> object:
-    """A JSON-safe, deterministic rendition of one parameter value."""
-    if isinstance(value, (bool, int, float, str)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
-    return repr(value)
-
-
 def describe_cell(cell: SweepCell) -> Dict[str, object]:
     """Canonical description of a cell -- the cache key's preimage.
 
@@ -106,12 +104,12 @@ def describe_cell(cell: SweepCell) -> Dict[str, object]:
     workload = make_workload()
     return {
         "x_label": cell.x_label,
-        "x": _jsonable(cell.x),
+        "x": jsonable(cell.x),
         "workload": {
             "name": workload.name,
-            "params": _jsonable(vars(workload)),
+            "params": jsonable(vars(workload)),
         },
-        "config": _jsonable(dict(config.__dict__)),
+        "config": jsonable(dict(config.__dict__)),
         "protocols": list(cell.protocols),
         "baseline": cell.baseline,
         "seeds": list(cell.seeds),
@@ -121,9 +119,7 @@ def describe_cell(cell: SweepCell) -> Dict[str, object]:
 
 def cell_key(cell: SweepCell) -> str:
     """Content address of a cell: SHA-256 over its canonical description."""
-    canonical = json.dumps(
-        describe_cell(cell), sort_keys=True, separators=(",", ":")
-    )
+    canonical = canonical_dumps(describe_cell(cell))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -147,35 +143,17 @@ def derive_cell_seeds(master_seed: int, cell_tag: str, count: int) -> Tuple[int,
 # result (de)serialisation -- the cached payload
 # ----------------------------------------------------------------------
 def comparison_to_payload(comp: ComparisonResult) -> bytes:
-    """Canonical JSON encoding of a comparison (cache payload)."""
-    doc = {
-        "scenario": comp.scenario,
-        "baseline": comp.baseline,
-        "protocols": [
-            {
-                "protocol": agg.protocol,
-                "seeds": agg.seeds,
-                "forced_total": agg.forced_total,
-                "basic_total": agg.basic_total,
-                "messages_total": agg.messages_total,
-                "piggyback_bits_total": agg.piggyback_bits_total,
-                "rdt_ok": agg.rdt_ok,
-                "ratio_to_baseline": agg.ratio_to_baseline,
-                "forced_per_seed": agg.forced_per_seed,
-                "ratio_per_seed": agg.ratio_per_seed,
-            }
-            for agg in comp.protocols
-        ],
-    }
-    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    """Canonical JSON encoding of a comparison (cache payload).
+
+    The document is exactly :meth:`ComparisonResult.to_dict`, so the
+    cache payload, the ``--json`` CLI report and the golden tests all
+    share one encoding (and one encoder: :mod:`repro.obs.jsonio`).
+    """
+    return canonical_bytes(comp.to_dict())
 
 
 def comparison_from_payload(payload: bytes) -> ComparisonResult:
-    doc = json.loads(payload.decode("utf-8"))
-    aggregates = [ProtocolAggregate(**entry) for entry in doc["protocols"]]
-    return ComparisonResult(
-        scenario=doc["scenario"], protocols=aggregates, baseline=doc["baseline"]
-    )
+    return ComparisonResult.from_dict(json.loads(payload.decode("utf-8")))
 
 
 # ----------------------------------------------------------------------
@@ -238,7 +216,14 @@ def _resolve_cache(
 # ----------------------------------------------------------------------
 @dataclass
 class RunnerStats:
-    """Where the time went in one :func:`run_sweep` call."""
+    """Where the time went in one :func:`run_sweep` call.
+
+    ``phase_seconds`` breaks worker-side compute down by pipeline phase
+    (``generate`` / ``simulate`` / ``analyze`` / ``closure``), summed
+    over every executed cell regardless of which process ran it;
+    ``metrics`` is the merged :class:`~repro.obs.metrics.MetricsSnapshot`
+    of all executed cells plus the runner's own ``sweep.*`` counters.
+    """
 
     workers: int = 1
     mode: str = "serial"
@@ -247,6 +232,8 @@ class RunnerStats:
     cell_seconds: List[float] = field(default_factory=list)
     wall_seconds: float = 0.0
     note: str = ""
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def cells_run(self) -> int:
@@ -277,10 +264,45 @@ class RunnerStats:
             else round(self.speedup_estimate, 2),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full state as a plain dict (the ``--json`` report's ``stats``)."""
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "cells_total": self.cells_total,
+            "cache_hits": self.cache_hits,
+            "cell_seconds": list(self.cell_seconds),
+            "wall_seconds": self.wall_seconds,
+            "note": self.note,
+            "phase_seconds": dict(sorted(self.phase_seconds.items())),
+            "metrics": None if self.metrics is None else self.metrics.to_dict(),
+        }
 
-def _execute_cell(cell: SweepCell) -> Tuple[bytes, float]:
-    """Run one cell to completion; module-level so workers can unpickle it."""
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "RunnerStats":
+        fields = dict(doc)
+        metrics_doc = fields.pop("metrics", None)
+        stats = cls(**fields)  # type: ignore[arg-type]
+        if metrics_doc is not None:
+            stats.metrics = MetricsSnapshot.from_dict(metrics_doc)  # type: ignore[arg-type]
+        return stats
+
+
+def _execute_cell(
+    cell: SweepCell, collect_obs: bool = False, tracer=None
+) -> Tuple[bytes, float, Optional[Dict]]:
+    """Run one cell to completion; module-level so workers can unpickle it.
+
+    With ``collect_obs`` the cell also returns its observability
+    document -- per-phase timings and a metrics snapshot from a registry
+    scoped to this cell -- as plain dicts so it crosses the process
+    boundary.  Without it the replay runs fully uninstrumented (the
+    zero-overhead default).  ``tracer`` is only ever non-None on the
+    serial path: a tracer cannot follow a cell into a worker process.
+    """
     start = time.perf_counter()
+    profiler = Profiler() if collect_obs else None
+    registry = MetricsRegistry() if collect_obs else None
     make_workload, config = cell.scenario(cell.x)
     comp = compare_protocols(
         make_workload,
@@ -290,8 +312,17 @@ def _execute_cell(cell: SweepCell) -> Tuple[bytes, float]:
         seeds=cell.seeds,
         scenario=cell.scenario_name,
         verify_rdt=cell.verify_rdt,
+        tracer=tracer,
+        metrics=registry,
+        profiler=profiler,
     )
-    return comparison_to_payload(comp), time.perf_counter() - start
+    obs_doc = None
+    if collect_obs:
+        obs_doc = {
+            "phases": profiler.snapshot(),
+            "metrics": registry.snapshot().to_dict(),
+        }
+    return comparison_to_payload(comp), time.perf_counter() - start, obs_doc
 
 
 def _cells_picklable(cells: Sequence[SweepCell]) -> bool:
@@ -303,12 +334,14 @@ def _cells_picklable(cells: Sequence[SweepCell]) -> bool:
 
 
 def _run_cells_parallel(
-    cells: Sequence[SweepCell], workers: int
-) -> List[Tuple[bytes, float]]:
+    cells: Sequence[SweepCell], workers: int, collect_obs: bool
+) -> List[Tuple[bytes, float, Optional[Dict]]]:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
     with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        return list(pool.map(_execute_cell, cells))
+        return list(
+            pool.map(partial(_execute_cell, collect_obs=collect_obs), cells)
+        )
 
 
 def run_sweep(
@@ -322,6 +355,9 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, Path, None, bool] = None,
     progress: Optional[Callable[[str], None]] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
 ) -> SweepResult:
     """Parallel, cached drop-in for :func:`repro.harness.sweep.ratio_sweep`.
 
@@ -340,15 +376,27 @@ def run_sweep(
         enables that store.
     progress:
         Optional callback receiving one line per finished cell.
-
-    The populated :class:`RunnerStats` is attached to the result as
-    ``SweepResult.stats``.
+    tracer:
+        A :class:`repro.obs.Tracer`.  Tracing forces serial execution
+        (a trace cannot deterministically interleave worker processes)
+        and records every layer down to protocol predicates, plus one
+        ``sweep.cell`` event per cell.
+    metrics / profiler:
+        When either is given (or tracing is on), each executed cell
+        collects a cell-scoped metrics snapshot and per-phase timings;
+        the aggregates land in ``RunnerStats.metrics`` /
+        ``RunnerStats.phase_seconds`` and are folded into the passed-in
+        registry/profiler.  All observability is off -- and free -- by
+        default, and never changes a result byte.
     """
     if workers is None:
         try:
             workers = len(os.sched_getaffinity(0))
         except AttributeError:  # platforms without affinity masks
             workers = os.cpu_count() or 1
+    collect_obs = bool(tracer) or metrics is not None or profiler is not None
+    if tracer:
+        workers = 1
     store = _resolve_cache(cache)
     cells = [
         SweepCell(
@@ -363,6 +411,9 @@ def run_sweep(
         for x in xs
     ]
     stats = RunnerStats(workers=max(1, workers), cells_total=len(cells))
+    if tracer:
+        stats.note = "tracing active; forced serial"
+    runner_metrics = MetricsRegistry() if collect_obs else None
     wall_start = time.perf_counter()
 
     payloads: List[Optional[bytes]] = [None] * len(cells)
@@ -383,6 +434,12 @@ def run_sweep(
                 payloads[i] = hit
                 stats.cache_hits += 1
                 stats.cell_seconds.append(0.0)
+                if runner_metrics is not None:
+                    runner_metrics.inc("sweep.cache_hits")
+                if tracer:
+                    tracer.event(
+                        "sweep.cell", 0.0, x=cell.x, cached=True, key=keys[i]
+                    )
                 if progress is not None:
                     progress(f"[cache] {cell.scenario_name}")
                 continue
@@ -392,22 +449,48 @@ def run_sweep(
         to_run = [cells[i] for i in pending]
         if workers > 1 and _cells_picklable(to_run):
             stats.mode = f"process[{workers}]"
-            outcomes = _run_cells_parallel(to_run, workers)
+            outcomes = _run_cells_parallel(to_run, workers, collect_obs)
         else:
             if workers > 1:
                 stats.note = "scenario not picklable; fell back to serial"
             stats.mode = "serial"
-            outcomes = [_execute_cell(cell) for cell in to_run]
-        for i, (payload, elapsed) in zip(pending, outcomes):
+            outcomes = [
+                _execute_cell(cell, collect_obs=collect_obs, tracer=tracer)
+                for cell in to_run
+            ]
+        for i, (payload, elapsed, obs_doc) in zip(pending, outcomes):
             payloads[i] = payload
             stats.cell_seconds.append(elapsed)
+            if obs_doc is not None:
+                stats.metrics = (
+                    MetricsSnapshot.from_dict(obs_doc["metrics"])
+                    if stats.metrics is None
+                    else stats.metrics.merge(
+                        MetricsSnapshot.from_dict(obs_doc["metrics"])
+                    )
+                )
+                for phase, seconds in obs_doc["phases"].items():
+                    stats.phase_seconds[phase] = (
+                        stats.phase_seconds.get(phase, 0.0) + seconds
+                    )
             if store is not None and keys[i] is not None:
                 store.put_bytes(keys[i], payload)
+            if tracer:
+                tracer.event("sweep.cell", 0.0, x=cells[i].x, cached=False)
+            if runner_metrics is not None:
+                runner_metrics.inc("sweep.cells_run")
             if progress is not None:
                 progress(f"[{elapsed:.2f}s] {cells[i].scenario_name}")
 
     comparisons = [comparison_from_payload(p) for p in payloads]  # type: ignore[arg-type]
     stats.wall_seconds = time.perf_counter() - wall_start
+    if runner_metrics is not None:
+        snap = runner_metrics.snapshot()
+        stats.metrics = snap if stats.metrics is None else stats.metrics.merge(snap)
+    if profiler is not None:
+        profiler.merge_dict(stats.phase_seconds)
+    if metrics is not None and stats.metrics is not None:
+        metrics.absorb(stats.metrics)
     result = SweepResult(
         x_label=x_label,
         xs=list(xs),

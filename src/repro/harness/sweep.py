@@ -10,7 +10,7 @@ collects the R series per protocol, ready for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ComparisonResult, compare_protocols
 from repro.sim import SimulationConfig
@@ -57,6 +57,35 @@ class SweepResult:
     def max_ratio(self, protocol: str) -> Optional[float]:
         values = [r for r in self.ratio_series().get(protocol, []) if r is not None]
         return max(values) if values else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical-JSON-safe dict, including runner stats when present."""
+        stats = self.stats
+        return {
+            "x_label": self.x_label,
+            "xs": list(self.xs),
+            "baseline": self.baseline,
+            "comparisons": [comp.to_dict() for comp in self.comparisons],
+            "stats": stats.to_dict() if hasattr(stats, "to_dict") else None,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "SweepResult":
+        from repro.harness.runner import RunnerStats  # local: avoid cycle
+
+        stats_doc = doc.get("stats")
+        result = cls(
+            x_label=doc["x_label"],  # type: ignore[arg-type]
+            xs=list(doc["xs"]),  # type: ignore[arg-type]
+            comparisons=[
+                ComparisonResult.from_dict(entry)
+                for entry in doc["comparisons"]  # type: ignore[union-attr]
+            ],
+            baseline=doc["baseline"],  # type: ignore[arg-type]
+        )
+        if stats_doc is not None:
+            result.stats = RunnerStats.from_dict(stats_doc)  # type: ignore[arg-type]
+        return result
 
 
 def ratio_sweep(

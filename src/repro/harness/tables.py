@@ -63,10 +63,16 @@ def render_runner_stats(stats, title: Optional[str] = None) -> str:
     """One-row table of a :class:`~repro.harness.runner.RunnerStats`.
 
     Shows worker mode, cell/cache-hit counts, worker-side busy time vs
-    wall time and the resulting speedup estimate; appends the runner's
-    note (e.g. a serial-fallback reason) when present.
+    wall time and the resulting speedup estimate; appends per-phase
+    timings (when the run was profiled) and the runner's note (e.g. a
+    serial-fallback reason) when present.
     """
     out = render_table([stats.as_row()], title=title)
+    phases = getattr(stats, "phase_seconds", None)
+    if phases:
+        out += "\nphases: " + "  ".join(
+            f"{name}={phases[name]:.3f}s" for name in sorted(phases)
+        )
     if getattr(stats, "note", ""):
         out += f"\n({stats.note})"
     return out

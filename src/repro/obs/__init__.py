@@ -1,0 +1,47 @@
+"""Observability: structured tracing, metrics and profiling.
+
+Three independent instruments with one design rule each:
+
+* :class:`Tracer` (:mod:`repro.obs.tracer`) -- typed events keyed by
+  simulation time + sequence, canonical JSONL, byte-stable across runs
+  of the same seed; free when disabled.
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) -- named
+  counters/gauges/histograms, snapshot-able and mergeable across sweep
+  workers.
+* :class:`Profiler` (:mod:`repro.obs.profile`) -- wall-clock per-phase
+  timing, deliberately *not* part of the trace so traces stay
+  deterministic.
+
+:mod:`repro.obs.jsonio` holds the canonical JSON encoder they (and the
+result cache) share.  ``docs/OBSERVABILITY.md`` documents the event
+schema and metric names.
+"""
+
+from repro.obs.jsonio import canonical_bytes, canonical_dumps, jsonable
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.profile import NULL_PROFILER, PHASES, Profiler
+from repro.obs.tracer import KINDS, NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KINDS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "PHASES",
+    "Profiler",
+    "TraceEvent",
+    "Tracer",
+    "canonical_bytes",
+    "canonical_dumps",
+    "jsonable",
+]

@@ -1,0 +1,259 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+Every number the paper's evaluation reports (forced/basic checkpoints
+per process, piggyback bytes, closure-edge updates, cache hit rates)
+is incremented at its source against a :class:`MetricsRegistry` and read
+back as an immutable :class:`MetricsSnapshot`.  Snapshots round-trip
+through plain dicts (canonical JSON on the wire), and *merge*: the sweep
+runner folds each worker's snapshot into one aggregate, so a parallel
+run reports the same totals a serial one does.
+
+Naming convention: dotted lowercase paths, with per-entity series
+suffixed ``.p<pid>`` (e.g. ``replay.forced.p3``).  The registry is
+plain-dict cheap; call sites that want true zero cost when metrics are
+off simply hold ``None`` and guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.obs.jsonio import canonical_dumps
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Tracks count / sum / min / max -- enough for means and extremes
+    without committing to a bucket layout.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def absorb(self, summary: Mapping[str, object]) -> None:
+        """Fold another histogram's summary in (exact: these stats merge)."""
+        self.count += summary["count"]  # type: ignore[operator, arg-type]
+        self.total += summary["sum"]  # type: ignore[operator, arg-type]
+        for key, pick in (("min", min), ("max", max)):
+            theirs = summary.get(key)
+            if theirs is None:
+                continue
+            mine = getattr(self, key)
+            setattr(self, key, theirs if mine is None else pick(mine, theirs))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable read of a registry, mergeable and JSON-round-trippable."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: dict(summary)
+                for name, summary in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(doc.get("counters", {})),  # type: ignore[arg-type]
+            gauges=dict(doc.get("gauges", {})),  # type: ignore[arg-type]
+            histograms={
+                name: dict(summary)
+                for name, summary in doc.get("histograms", {}).items()  # type: ignore[union-attr]
+            },
+        )
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Aggregate two snapshots (e.g. across sweep workers).
+
+        Counters add, gauges keep the maximum (the natural reading for
+        high-water marks, the only cross-process gauge use here), and
+        histogram summaries combine exactly.
+        """
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges[name], value) if name in gauges else value
+        histograms = {name: dict(s) for name, s in self.histograms.items()}
+        for name, summary in other.histograms.items():
+            if name not in histograms:
+                histograms[name] = dict(summary)
+                continue
+            mine = histograms[name]
+            mine["count"] = mine["count"] + summary["count"]  # type: ignore[operator]
+            mine["sum"] = mine["sum"] + summary["sum"]  # type: ignore[operator]
+            for key, pick in (("min", min), ("max", max)):
+                a, b = mine.get(key), summary.get(key)
+                mine[key] = pick(a, b) if a is not None and b is not None else (
+                    a if b is None else b
+                )
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+    @classmethod
+    def merge_all(
+        cls, snapshots: Iterable["MetricsSnapshot"]
+    ) -> "MetricsSnapshot":
+        out = cls()
+        for snap in snapshots:
+            out = out.merge(snap)
+        return out
+
+    def canonical(self) -> str:
+        return canonical_dumps(self.to_dict())
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    A name is permanently bound to the first instrument type that
+    claimed it; asking for the same name as a different type raises,
+    which catches misspelled call sites early.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._claim(name, "counter")
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._claim(name, "gauge")
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._claim(name, "histogram")
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    # convenience write-through forms ----------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot into this registry (counters add, gauges keep
+        the maximum, histogram summaries merge exactly) -- how the sweep
+        runner surfaces worker-side metrics in the caller's registry."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, summary in snapshot.histograms.items():
+            self.histogram(name).absorb(summary)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={n: c.value for n, c in self._counters.items()},
+            gauges={n: g.value for n, g in self._gauges.items()},
+            histograms={n: h.summary() for n, h in self._histograms.items()},
+        )
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

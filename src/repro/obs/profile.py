@@ -1,0 +1,98 @@
+"""Wall-clock phase profiling, kept strictly outside the trace.
+
+A :class:`Profiler` accumulates elapsed seconds per named phase
+(``generate`` / ``simulate`` / ``analyze`` / ``closure`` are the ones
+the stack emits) so the harness can answer "where does the time go".
+Wall times are non-deterministic by nature, which is exactly why they
+live here and never in :mod:`repro.obs.tracer` events: traces stay
+byte-stable, profiles report reality.
+
+Call sites take an optional profiler and normalise with
+``profiler = profiler or NULL_PROFILER``; the null object's ``phase``
+context manager is a shared no-op, so un-profiled runs pay one attribute
+call and no allocation per phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+#: Phase names used by the instrumented layers (informative).
+PHASES = ("generate", "simulate", "analyze", "closure")
+
+
+class Profiler:
+    """Accumulates (seconds, entry count) per phase name."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + count
+
+    def merge_dict(self, phases: Mapping[str, float]) -> None:
+        """Fold a ``{phase: seconds}`` dict in (e.g. from a sweep worker)."""
+        for name, seconds in phases.items():
+            self.add(name, seconds)
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{phase: total_seconds}``, sorted by name for stable output."""
+        return {name: self.seconds[name] for name in sorted(self.seconds)}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={self.seconds[name]:.3f}s" for name in sorted(self.seconds)
+        )
+        return f"<Profiler {parts or 'empty'}>"
+
+
+class _NullProfiler(Profiler):
+    """Discards everything; falsy so callers can detect 'profiling off'."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._noop = _NOOP_CM
+
+    def phase(self, name: str):  # type: ignore[override]
+        return self._noop
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NoopContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_CM = _NoopContext()
+
+#: Shared inert profiler; ``profiler or NULL_PROFILER`` at function entry.
+NULL_PROFILER = _NullProfiler()

@@ -9,13 +9,17 @@ into a protocol-independent :class:`repro.sim.trace.Trace`.  Phase two
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING
 
 from repro.sim.channel import ChannelMap
 from repro.sim.kernel import Scheduler
 from repro.sim.trace import Trace, TraceOp, TraceOpKind
 from repro.types import MessageId, ProcessId, SimulationError
 from repro.workloads.base import Workload, WorkloadContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 class _GeneratorContext(WorkloadContext):
@@ -85,6 +89,8 @@ class TraceGenerator:
         basic_rate: float = 0.1,
         channels: Optional[ChannelMap] = None,
         max_events: int = 1_000_000,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if n <= 0:
             raise SimulationError("need at least one process")
@@ -95,7 +101,9 @@ class TraceGenerator:
         self.basic_rate = basic_rate
         self.channels = channels if channels is not None else ChannelMap(n)
         self.max_events = max_events
-        self.scheduler = Scheduler()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.scheduler = Scheduler(tracer=tracer, metrics=metrics)
         self.ops: List[TraceOp] = []
         self.payloads: Dict[MessageId, Any] = {}
         self.stopped = False
@@ -119,6 +127,10 @@ class TraceGenerator:
         self.ops.append(
             TraceOp(now, TraceOpKind.SEND, src, peer=dst, msg_id=msg_id, size=size)
         )
+        if self.tracer:
+            self.tracer.event("sim.send", now, src=src, dst=dst, msg=msg_id)
+        if self.metrics is not None:
+            self.metrics.inc("generate.sends")
         self.payloads[msg_id] = payload
         arrival = self.channels.arrival_time(src, dst, now, self.rng)
         self.scheduler.schedule_at(
@@ -127,11 +139,14 @@ class TraceGenerator:
         return msg_id
 
     def _arrive(self, msg_id: MessageId, src: ProcessId, dst: ProcessId) -> None:
+        now = self.scheduler.now
         self.ops.append(
-            TraceOp(
-                self.scheduler.now, TraceOpKind.DELIVER, dst, peer=src, msg_id=msg_id
-            )
+            TraceOp(now, TraceOpKind.DELIVER, dst, peer=src, msg_id=msg_id)
         )
+        if self.tracer:
+            self.tracer.event("sim.deliver", now, src=src, dst=dst, msg=msg_id)
+        if self.metrics is not None:
+            self.metrics.inc("generate.deliveries")
         if not self.stopped:
             self.workload.on_deliver(self._ctx, dst, src, msg_id)
 
@@ -146,6 +161,10 @@ class TraceGenerator:
         self.ops.append(
             TraceOp(self.scheduler.now, TraceOpKind.BASIC_CHECKPOINT, pid)
         )
+        if self.tracer:
+            self.tracer.event("sim.basic", self.scheduler.now, pid=pid)
+        if self.metrics is not None:
+            self.metrics.inc("generate.basic_checkpoints")
         self._schedule_basic(pid)
 
     def _schedule_basic(self, pid: ProcessId) -> None:

@@ -4,25 +4,42 @@ Plain priority-queue scheduling: callbacks fire in ``(time, seq)`` order
 where ``seq`` is a global insertion counter, so simultaneous events run
 in scheduling order and every run is a pure function of its inputs (all
 randomness comes from the caller's seeded RNG).
+
+The scheduler is an instrumentation point of the observability layer:
+give it a :class:`repro.obs.Tracer` and every processed event emits a
+``sim.step`` trace record (simulation time, queue depth); give it a
+:class:`repro.obs.MetricsRegistry` and it maintains the
+``kernel.events`` counter and ``kernel.queue_depth`` histogram.  Both
+hooks cost one falsy check per event when unused.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.types import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 class Scheduler:
     """The event queue of one simulation."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        self.tracer = tracer
+        self.metrics = metrics
 
     @property
     def now(self) -> float:
@@ -46,10 +63,16 @@ class Scheduler:
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> float:
         """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` have run.  Returns the final simulation time."""
+        ``max_events`` have run.  Returns the final simulation time.
+
+        Not reentrant; ``_running`` is reset even when a callback raises,
+        so a failed run never poisons the next one.
+        """
         if self._running:
             raise SimulationError("scheduler is not reentrant")
         self._running = True
+        tracer = self.tracer
+        metrics = self.metrics
         try:
             processed = 0
             while self._queue:
@@ -61,6 +84,11 @@ class Scheduler:
                     break
                 heapq.heappop(self._queue)
                 self._now = time
+                if tracer:
+                    tracer.event("sim.step", time, pending=len(self._queue))
+                if metrics is not None:
+                    metrics.inc("kernel.events")
+                    metrics.observe("kernel.queue_depth", len(self._queue))
                 callback()
                 processed += 1
                 self.events_processed += 1

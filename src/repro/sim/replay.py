@@ -16,9 +16,10 @@ differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.analysis.metrics import RunMetrics, metrics_from_history
+from repro.obs.profile import NULL_PROFILER
 from repro.core.piggyback import Piggyback
 from repro.core.protocol import CheckpointProtocol, ProtocolFamily
 from repro.events.event import CheckpointKind, Event, EventKind, Message
@@ -26,6 +27,11 @@ from repro.events.history import History
 from repro.events.validate import validate_history
 from repro.sim.trace import Trace, TraceOp, TraceOpKind
 from repro.types import MessageId, ProcessId, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import Profiler
+    from repro.obs.tracer import Tracer
 
 #: Minimal spacing between consecutive events of one process; trace op
 #: times are macroscopic (O(0.01+)) so nudges never reorder anything.
@@ -131,47 +137,114 @@ def replay(
     trace: Trace,
     protocol_factory: Callable[[ProcessId, int], CheckpointProtocol],
     close: bool = True,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    profiler: Optional["Profiler"] = None,
 ) -> ReplayResult:
     """Replay ``trace`` under the protocol built by ``protocol_factory``.
 
     The driver honours the contract documented on
     :class:`repro.core.protocol.CheckpointProtocol`.
+
+    Observability (all optional, each free when unset): ``tracer``
+    receives one ``proto.predicate`` event per delivery -- with the
+    piggyback *input* and the decision, making every forced checkpoint
+    auditable -- plus ``proto.forced``/``proto.ckpt`` records; ``metrics``
+    maintains the ``replay.*`` counter family; ``profiler`` attributes
+    the fold to ``simulate`` and history building to ``closure``.
     """
+    profiler = profiler or NULL_PROFILER
     family = ProtocolFamily(protocol_factory, trace.n)
     recorder = _Recorder(trace.n)
     piggybacks: Dict[MessageId, Piggyback] = {}
-    for op in trace:
-        proto = family[op.pid]
-        if op.kind is TraceOpKind.SEND:
-            assert op.msg_id is not None
-            piggybacks[op.msg_id] = proto.on_send(op.peer)
-            recorder.send(op)
-            if proto.wants_checkpoint_after_send():
-                recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
-                proto.on_checkpoint(forced=True)
-        elif op.kind is TraceOpKind.DELIVER:
-            assert op.msg_id is not None and op.peer is not None
-            pb = piggybacks[op.msg_id]
-            if proto.wants_forced_checkpoint(pb, op.peer):
-                recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
-                proto.on_checkpoint(forced=True)
-            proto.on_receive(pb, op.peer)
-            recorder.deliver(op)
-        elif op.kind is TraceOpKind.BASIC_CHECKPOINT:
-            recorder.checkpoint(op.pid, op.time, CheckpointKind.BASIC)
-            proto.on_checkpoint(forced=False)
-        else:  # pragma: no cover - exhaustive enum
-            raise SimulationError(f"unknown op {op!r}")
-    history = recorder.build(close)
     name = family.name
-    metrics = metrics_from_history(
+    with profiler.phase("simulate"):
+        for op in trace:
+            proto = family[op.pid]
+            if op.kind is TraceOpKind.SEND:
+                assert op.msg_id is not None
+                pb = piggybacks[op.msg_id] = proto.on_send(op.peer)
+                recorder.send(op)
+                if metrics is not None:
+                    metrics.inc("replay.piggyback_bits", pb.size_bits())
+                if proto.wants_checkpoint_after_send():
+                    recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
+                    proto.on_checkpoint(forced=True)
+                    if tracer:
+                        tracer.event(
+                            "proto.forced",
+                            op.time,
+                            protocol=name,
+                            pid=op.pid,
+                            cause="after_send",
+                            msg=op.msg_id,
+                            index=proto.tdv[op.pid] - 1,
+                        )
+                    if metrics is not None:
+                        metrics.inc("replay.forced")
+                        metrics.inc(f"replay.forced.p{op.pid}")
+            elif op.kind is TraceOpKind.DELIVER:
+                assert op.msg_id is not None and op.peer is not None
+                pb = piggybacks[op.msg_id]
+                forced = proto.wants_forced_checkpoint(pb, op.peer)
+                if tracer:
+                    tracer.event(
+                        "proto.predicate",
+                        op.time,
+                        protocol=name,
+                        pid=op.pid,
+                        sender=op.peer,
+                        msg=op.msg_id,
+                        piggyback=pb,
+                        forced=forced,
+                    )
+                if metrics is not None:
+                    metrics.inc("replay.predicate_evals")
+                if forced:
+                    recorder.checkpoint(op.pid, op.time, CheckpointKind.FORCED)
+                    proto.on_checkpoint(forced=True)
+                    if tracer:
+                        tracer.event(
+                            "proto.forced",
+                            op.time,
+                            protocol=name,
+                            pid=op.pid,
+                            cause="predicate",
+                            msg=op.msg_id,
+                            index=proto.tdv[op.pid] - 1,
+                        )
+                    if metrics is not None:
+                        metrics.inc("replay.forced")
+                        metrics.inc(f"replay.forced.p{op.pid}")
+                proto.on_receive(pb, op.peer)
+                recorder.deliver(op)
+            elif op.kind is TraceOpKind.BASIC_CHECKPOINT:
+                recorder.checkpoint(op.pid, op.time, CheckpointKind.BASIC)
+                proto.on_checkpoint(forced=False)
+                if tracer:
+                    tracer.event(
+                        "proto.ckpt",
+                        op.time,
+                        protocol=name,
+                        pid=op.pid,
+                        ckpt="basic",
+                        index=proto.tdv[op.pid] - 1,
+                    )
+                if metrics is not None:
+                    metrics.inc("replay.basic")
+                    metrics.inc(f"replay.basic.p{op.pid}")
+            else:  # pragma: no cover - exhaustive enum
+                raise SimulationError(f"unknown op {op!r}")
+    with profiler.phase("closure"):
+        history = recorder.build(close)
+    run_metrics = metrics_from_history(
         history,
         protocol=name,
         piggyback_bits_total=family.total_piggyback_bits(),
     )
-    _cross_check_forced(metrics, family)
+    _cross_check_forced(run_metrics, family)
     return ReplayResult(
-        protocol_name=name, history=history, family=family, metrics=metrics
+        protocol_name=name, history=history, family=family, metrics=run_metrics
     )
 
 

@@ -10,9 +10,10 @@ examples, the benchmarks and most tests use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.registry import protocol_factory
+from repro.obs.profile import NULL_PROFILER
 from repro.sim.channel import ChannelMap
 from repro.sim.delays import DelayModel, Exponential
 from repro.sim.generate import TraceGenerator
@@ -20,6 +21,11 @@ from repro.sim.replay import ReplayResult, replay
 from repro.sim.trace import Trace
 from repro.types import SimulationError
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import Profiler
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -63,11 +69,27 @@ class SimulationConfig:
 
 
 class Simulation:
-    """One seeded scenario: a workload under a configuration."""
+    """One seeded scenario: a workload under a configuration.
 
-    def __init__(self, workload: Workload, config: Optional[SimulationConfig] = None):
+    The optional observability instruments attach to every phase the
+    scenario drives: trace generation (``sim.*`` events, ``generate``
+    phase), protocol replay (``proto.*`` events, ``simulate``/``closure``
+    phases).  All three default to off and cost nothing then.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[SimulationConfig] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        profiler: Optional["Profiler"] = None,
+    ):
         self.workload = workload
         self.config = config if config is not None else SimulationConfig()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
         self._trace: Optional[Trace] = None
 
     @property
@@ -83,19 +105,36 @@ class Simulation:
                 basic_rate=cfg.basic_rate,
                 channels=ChannelMap(cfg.n, delay=cfg.delay, fifo=cfg.fifo),
                 max_events=cfg.max_events,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
-            self._trace = generator.generate()
+            with (self.profiler or NULL_PROFILER).phase("generate"):
+                self._trace = generator.generate()
         return self._trace
 
     def run(self, protocol: str, close: bool = True) -> ReplayResult:
         """Replay the scenario under one protocol (registry name)."""
-        return replay(self.trace, protocol_factory(protocol), close=close)
+        return replay(
+            self.trace,
+            protocol_factory(protocol),
+            close=close,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
 
     def run_factory(self, factory, close: bool = True) -> ReplayResult:
         """Replay under a protocol given as a ``(pid, n) -> protocol``
         factory (for classes not in the registry, e.g. user protocols
         under conformance testing or parameterised variants)."""
-        return replay(self.trace, factory, close=close)
+        return replay(
+            self.trace,
+            factory,
+            close=close,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
 
     def compare(
         self, protocols: List[str], close: bool = True

@@ -1,0 +1,18 @@
+"""Shared pytest configuration: the tier1/tier2 marker split.
+
+Every test not explicitly marked ``tier2`` (the slow differential /
+property suites) is auto-marked ``tier1``, so the fast correctness
+gate can be selected either way:
+
+    pytest -m tier1          # fast gate only
+    pytest -m "not tier2"    # equivalent
+    pytest                   # everything (the default, and the CI gate)
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "tier2" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)

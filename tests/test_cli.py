@@ -1,5 +1,7 @@
 """CLI tests (in-process via main(argv))."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -130,3 +132,100 @@ class TestSaveLoad:
     def test_analyze_file_requires_path(self):
         with pytest.raises(SystemExit):
             main(["analyze", "file"])
+
+
+RUN_ARGS = ["run", "--protocol", "bhmr", "-n", "3", "--duration", "15"]
+
+
+class TestJsonMode:
+    def test_run_json_is_one_canonical_document(self, capsys):
+        code, out = run_cli(capsys, *RUN_ARGS, "--json")
+        assert code == 0
+        doc = json.loads(out)  # exactly one JSON value on stdout
+        assert doc["command"] == "run" and doc["protocol"] == "bhmr"
+        assert doc["run"]["forced_checkpoints"] > 0
+        assert out == json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+    def test_run_json_is_reproducible(self, capsys):
+        _, out1 = run_cli(capsys, *RUN_ARGS, "--json")
+        _, out2 = run_cli(capsys, *RUN_ARGS, "--json")
+        assert out1 == out2
+
+    def test_run_json_check_rdt_field_and_exit_code(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--protocol", "independent", "-n", "3",
+            "--duration", "30", "--basic-rate", "0.5", "--check-rdt",
+            "--workload-arg", "send_rate=2.0", "--json",
+        )
+        assert code == 1
+        assert json.loads(out)["rdt"] is False
+
+    def test_compare_json(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "-n", "3", "--duration", "12",
+            "--protocols", "bhmr", "fdas", "--seeds", "0", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        names = [p["protocol"] for p in doc["compare"]["protocols"]]
+        assert names == ["bhmr", "fdas"]
+        for proto in doc["compare"]["protocols"]:
+            assert "forced_total" in proto and "basic_total" in proto
+
+    def test_sweep_json_with_metrics_and_profile(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "-n", "3", "--duration", "10",
+            "--rates", "0.1", "0.4", "--seeds", "0",
+            "--metrics", "--profile", "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        stats = doc["sweep"]["stats"]
+        counters = doc["metrics"]["counters"]
+        assert counters["sweep.cells_run"] == 2
+        assert counters["replay.forced"] > 0
+        assert any(k.startswith("replay.forced.p") for k in counters)
+        assert set(stats["phase_seconds"]) >= {"generate", "simulate"}
+        assert set(doc["profile"]) >= {"generate", "simulate"}
+        assert len(doc["sweep"]["comparisons"]) == 2
+
+
+class TestObsFlags:
+    def test_trace_flag_writes_deterministic_file(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        code, out = run_cli(capsys, *RUN_ARGS, "--trace", a)
+        assert code == 0 and "trace:" in out
+        run_cli(capsys, *RUN_ARGS, "--trace", b)
+        data = (tmp_path / "a.jsonl").read_bytes()
+        assert data == (tmp_path / "b.jsonl").read_bytes() and data
+        first = json.loads(data.splitlines()[0])
+        assert {"kind", "t", "seq"} <= set(first)
+
+    def test_metrics_flag_prints_table(self, capsys):
+        code, out = run_cli(capsys, *RUN_ARGS, "--metrics")
+        assert code == 0
+        assert "replay.forced" in out and "kernel.events" in out
+
+    def test_profile_flag_prints_phases(self, capsys):
+        code, out = run_cli(capsys, *RUN_ARGS, "--profile")
+        assert code == 0
+        assert "profile:" in out and "simulate=" in out
+
+    def test_sweep_backend_serial_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "-n", "3", "--duration", "10",
+            "--rates", "0.1", "--seeds", "0", "--backend", "serial",
+        )
+        assert code == 0 and "basic_rate" in out
+
+    def test_sweep_cache_flag_round_trip(self, capsys, tmp_path):
+        args = [
+            "sweep", "-n", "3", "--duration", "10", "--rates", "0.1",
+            "--seeds", "0", "--cache", str(tmp_path / "cache"), "--json",
+            "--metrics",
+        ]
+        _, cold = run_cli(capsys, *args)
+        _, warm = run_cli(capsys, *args)
+        assert json.loads(cold)["sweep"]["comparisons"] == \
+            json.loads(warm)["sweep"]["comparisons"]
+        assert json.loads(warm)["sweep"]["stats"]["cache_hits"] == 1

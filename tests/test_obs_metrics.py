@@ -1,0 +1,144 @@
+"""The metrics registry: instruments, snapshots, merge semantics."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (2.0, 5.0, 3.0):
+            h.observe(v)
+        assert h.summary() == {"count": 3, "sum": 10.0, "min": 2.0, "max": 5.0}
+        assert h.mean == pytest.approx(10.0 / 3)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean is None
+        assert h.summary() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+
+    def test_histogram_absorb_is_exact(self):
+        whole, a, b = Histogram(), Histogram(), Histogram()
+        for k, v in enumerate((1.0, 9.0, 4.0, 2.0)):
+            whole.observe(v)
+            (a if k % 2 else b).observe(v)
+        a.absorb(b.summary())
+        assert a.summary() == whole.summary()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_write_through_helpers(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set("g", 7.0)
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        assert snap.counters == {"c": 2}
+        assert snap.gauges == {"g": 7.0}
+        assert snap.histograms["h"]["count"] == 1
+
+    def test_cross_type_name_claim_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_len_and_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set("b", 1.0)
+        assert len(reg) == 2
+        reg.clear()
+        assert len(reg) == 0 and not reg.snapshot()
+
+    def test_absorb_matches_snapshot_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        a.set("g", 1.0)
+        a.observe("h", 3.0)
+        b.inc("c", 3)
+        b.set("g", 5.0)
+        b.observe("h", 1.0)
+        merged = a.snapshot().merge(b.snapshot())
+        a.absorb(b.snapshot())
+        assert a.snapshot().to_dict() == merged.to_dict()
+
+
+class TestSnapshot:
+    def test_round_trips_through_plain_dicts(self):
+        reg = MetricsRegistry()
+        reg.inc("replay.forced", 8)
+        reg.set("closure.nodes", 12.0)
+        reg.observe("kernel.queue_depth", 4.0)
+        snap = reg.snapshot()
+        again = MetricsSnapshot.from_dict(snap.to_dict())
+        assert again.to_dict() == snap.to_dict()
+
+    def test_canonical_is_stable_json(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        text = reg.snapshot().canonical()
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_truthiness(self):
+        assert not MetricsSnapshot()
+        assert MetricsSnapshot(counters={"x": 1})
+
+    def test_merge_counters_add(self):
+        a = MetricsSnapshot(counters={"x": 2, "y": 1})
+        b = MetricsSnapshot(counters={"x": 3, "z": 4})
+        assert a.merge(b).counters == {"x": 5, "y": 1, "z": 4}
+
+    def test_merge_gauges_keep_max(self):
+        a = MetricsSnapshot(gauges={"depth": 3.0})
+        b = MetricsSnapshot(gauges={"depth": 9.0, "other": 1.0})
+        assert a.merge(b).gauges == {"depth": 9.0, "other": 1.0}
+
+    def test_merge_histograms_exact(self):
+        whole, a, b = Histogram(), Histogram(), Histogram()
+        for k, v in enumerate((1.0, 9.0, 4.0)):
+            whole.observe(v)
+            (a if k % 2 else b).observe(v)
+        sa = MetricsSnapshot(histograms={"h": a.summary()})
+        sb = MetricsSnapshot(histograms={"h": b.summary()})
+        assert sa.merge(sb).histograms["h"] == whole.summary()
+
+    def test_merge_all_over_empty_and_many(self):
+        assert not MetricsSnapshot.merge_all([])
+        parts = [MetricsSnapshot(counters={"x": k}) for k in (1, 2, 3)]
+        assert MetricsSnapshot.merge_all(parts).counters == {"x": 6}
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = MetricsSnapshot(counters={"x": 1}, histograms={"h": {
+            "count": 1, "sum": 1.0, "min": 1.0, "max": 1.0,
+        }})
+        b = MetricsSnapshot(counters={"x": 1}, histograms={"h": {
+            "count": 1, "sum": 2.0, "min": 2.0, "max": 2.0,
+        }})
+        a.merge(b)
+        assert a.counters == {"x": 1} and a.histograms["h"]["count"] == 1

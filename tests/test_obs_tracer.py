@@ -1,0 +1,186 @@
+"""The trace bus: determinism, zero-interference, event content.
+
+The two contractual properties of :mod:`repro.obs.tracer` are golden
+here: identical-seed runs produce *byte-identical* JSONL, and turning
+tracing on changes nothing about the simulation's results.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.obs import NULL_TRACER, Tracer, TraceEvent
+from repro.obs.tracer import KINDS
+
+SCENARIO = dict(workload="random", n=3, duration=20.0, seed=7, basic_rate=0.3)
+
+
+def traced_run(**overrides):
+    tracer = Tracer()
+    kwargs = dict(SCENARIO)
+    kwargs.update(overrides)
+    result = api.run(protocol="bhmr", tracer=tracer, **kwargs)
+    return tracer, result
+
+
+class TestTracerUnit:
+    def test_event_records_kind_time_seq_fields(self):
+        t = Tracer()
+        t.event("proto.forced", 1.5, pid=2, cause="predicate")
+        (ev,) = t.events
+        assert ev.kind == "proto.forced" and ev.t == 1.5 and ev.seq == 0
+        assert ev.fields == {"pid": 2, "cause": "predicate"}
+
+    def test_seq_monotonic(self):
+        t = Tracer()
+        for k in range(5):
+            t.event("sim.step", float(k))
+        assert [ev.seq for ev in t] == [0, 1, 2, 3, 4]
+
+    def test_lines_are_canonical_json(self):
+        t = Tracer()
+        t.event("sim.step", 1.0, b=2, a=1)
+        (line,) = t.lines()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert json.loads(line) == {
+            "kind": "sim.step", "t": 1.0, "seq": 0, "a": 1, "b": 2,
+        }
+
+    def test_fields_pass_through_jsonable(self):
+        t = Tracer()
+        t.event("sim.step", 0.0, tup=(1, 2), nested={"k": (3,)})
+        (ev,) = t.events
+        assert ev.fields == {"tup": [1, 2], "nested": {"k": [3]}}
+
+    def test_disabled_tracer_is_falsy_and_inert(self):
+        t = Tracer(enabled=False)
+        assert not t
+        t.event("sim.step", 0.0)
+        assert len(t) == 0
+        assert not NULL_TRACER and len(NULL_TRACER) == 0
+
+    def test_span_pairs_begin_and_end_by_id(self):
+        t = Tracer()
+        span = t.span("phase", 0.0, name="simulate")
+        t.event("sim.step", 1.0)
+        span.end(2.0, events=1)
+        span.end(3.0)  # double close ignored
+        begin, _, end = t.events
+        assert begin.fields["mark"] == "begin"
+        assert end.fields["mark"] == "end"
+        assert begin.fields["span"] == end.fields["span"] == begin.seq
+
+    def test_write_and_clear(self, tmp_path):
+        t = Tracer()
+        t.event("sim.step", 0.0)
+        path = tmp_path / "trace.jsonl"
+        assert t.write(path) == 1
+        assert path.read_text().count("\n") == 1
+        t.clear()
+        assert len(t) == 0
+        t.event("sim.step", 0.0)
+        assert t.events[0].seq == 0  # seq restarts after clear
+
+    def test_stream_receives_lines_live(self, tmp_path):
+        import io
+
+        buf = io.StringIO()
+        t = Tracer(stream=buf)
+        t.event("sim.step", 0.0)
+        assert buf.getvalue() == t.dumps()
+
+    def test_trace_event_frozen(self):
+        ev = TraceEvent(kind="sim.step", t=0.0, seq=0)
+        with pytest.raises(Exception):
+            ev.t = 1.0
+
+
+class TestGoldenDeterminism:
+    def test_same_seed_runs_are_byte_identical(self):
+        t1, _ = traced_run()
+        t2, _ = traced_run()
+        assert t1.dumps() == t2.dumps()
+        assert len(t1) > 0
+
+    def test_same_seed_trace_files_are_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        traced_run()[0].write(a)
+        traced_run()[0].write(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_changes_the_trace(self):
+        t1, _ = traced_run(seed=7)
+        t2, _ = traced_run(seed=8)
+        assert t1.dumps() != t2.dumps()
+
+    def test_no_wall_clock_in_events(self):
+        tracer, _ = traced_run()
+        # every t is a simulation time within the configured duration
+        # (plus the recorder's epsilon nudges), never an epoch stamp
+        assert all(0.0 <= ev.t < 1e6 for ev in tracer)
+
+    def test_only_known_kinds_emitted(self):
+        tracer, _ = traced_run()
+        assert {ev.kind for ev in tracer} <= set(KINDS)
+
+
+class TestZeroInterference:
+    def test_tracing_leaves_run_metrics_bit_identical(self):
+        plain = api.run(protocol="bhmr", **SCENARIO)
+        _, traced = traced_run()
+        assert plain.metrics == traced.metrics
+
+    def test_tracing_leaves_comparison_bit_identical(self):
+        base = api.compare(protocols=("bhmr", "fdas"), seeds=(0, 1), **SCENARIO_CMP)
+        traced = api.compare(
+            protocols=("bhmr", "fdas"), seeds=(0, 1), tracer=Tracer(),
+            **SCENARIO_CMP,
+        )
+        assert base.to_dict() == traced.to_dict()
+        assert base.ratio("bhmr") == traced.ratio("bhmr")
+
+    def test_disabled_tracer_equals_no_tracer(self):
+        off = Tracer(enabled=False)
+        result = api.run(protocol="bhmr", tracer=off, **SCENARIO)
+        assert len(off) == 0
+        assert result.metrics == api.run(protocol="bhmr", **SCENARIO).metrics
+
+
+SCENARIO_CMP = dict(workload="random", n=3, duration=15.0, basic_rate=0.3)
+
+
+class TestEventContent:
+    def test_predicate_events_carry_piggyback_input(self):
+        tracer, result = traced_run()
+        evals = tracer.of_kind("proto.predicate")
+        assert len(evals) == result.metrics.messages_delivered
+        for ev in evals:
+            assert {"protocol", "pid", "sender", "msg", "piggyback", "forced"} \
+                <= set(ev.fields)
+
+    def test_forced_events_match_forced_count(self):
+        tracer, result = traced_run()
+        forced = tracer.of_kind("proto.forced")
+        assert len(forced) == result.metrics.forced_checkpoints
+        fired = [ev for ev in tracer.of_kind("proto.predicate") if ev.fields["forced"]]
+        by_predicate = [ev for ev in forced if ev.fields["cause"] == "predicate"]
+        assert len(fired) == len(by_predicate)
+
+    def test_sim_layer_events_present(self):
+        tracer, result = traced_run()
+        assert len(tracer.of_kind("sim.send")) == result.metrics.messages_delivered
+        assert len(tracer.of_kind("sim.step")) > 0
+
+    def test_sweep_emits_cell_events_and_forces_serial(self):
+        tracer = Tracer()
+        sweep = api.sweep(
+            workload="random", xs=(0.1, 0.4), protocols=("bhmr",),
+            seeds=(0,), n=3, duration=10.0, tracer=tracer,
+        )
+        cells = tracer.of_kind("sweep.cell")
+        assert len(cells) == 2
+        assert sweep.stats.workers == 1
+        assert "serial" in sweep.stats.mode or sweep.stats.workers == 1

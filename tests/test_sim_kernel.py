@@ -70,6 +70,27 @@ class TestScheduler:
         with pytest.raises(SimulationError):
             s.schedule_at(1.0, lambda: None)
 
+    def test_reentrant_run_rejected(self):
+        s = Scheduler()
+        seen = []
+        s.schedule(1.0, lambda: seen.append(pytest.raises(SimulationError, s.run)))
+        s.run()
+        assert len(seen) == 1
+
+    def test_failed_run_does_not_poison_the_next(self):
+        s = Scheduler()
+
+        def boom():
+            raise RuntimeError("callback failed")
+
+        s.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            s.run()
+        log = []
+        s.schedule(1.0, lambda: log.append("ok"))
+        s.run()
+        assert log == ["ok"]
+
 
 class TestDelays:
     @pytest.mark.parametrize(
