@@ -1,0 +1,79 @@
+"""Fault injection with *online* recovery: crash, recover, resume, repeat.
+
+    python examples/online_recovery.py
+
+Where ``recovery_after_crash.py`` analyses a finished run post-hoc, this
+example injects real crashes *into* the simulation: at each scheduled
+instant the process loses its volatile state, the recovery line is
+computed on-line from the live incremental R-graph, the system rolls
+back, crossing messages are replayed from the sender logs, and execution
+resumes.  Piecewise determinism guarantees the run converges to the
+crash-free history -- and every online line is cross-checked against the
+offline fixpoint.
+
+The same crash schedule is injected under independent checkpointing and
+under two RDT protocols, making the domino effect (and its cure) visible
+crash by crash.
+"""
+
+from repro import api
+from repro.harness import render_table
+from repro.sim import CrashSchedule
+
+SCHEDULE = CrashSchedule.at((0, 12.0), (2, 25.0), (1, 33.0))
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("independent", "fdas", "bhmr"):
+        result = api.recover(
+            workload="random",
+            workload_args={"send_rate": 2.0},
+            protocol=protocol,
+            crashes=SCHEDULE,
+            n=3,
+            duration=40.0,
+            seed=7,
+            basic_rate=0.4,
+        )
+        for record in result.crashes:
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "t": record.time,
+                    "crashed": ",".join(f"P{p}" for p in record.crashed),
+                    "cut": list(record.online.cut.values()),
+                    "undone": record.online.events_undone,
+                    "depth": record.online.max_depth,
+                    "replayed": record.messages_replayed,
+                    "online==offline": record.online.cut == record.offline_cut,
+                }
+            )
+        clean = api.run(
+            workload="random",
+            workload_args={"send_rate": 2.0},
+            protocol=protocol,
+            n=3,
+            duration=40.0,
+            seed=7,
+            basic_rate=0.4,
+        )
+        n = clean.history.num_processes
+        converged = all(
+            result.history.events(p) == clean.history.events(p) for p in range(n)
+        )
+        assert converged, protocol
+
+    print(render_table(rows, title="Online recovery, crash by crash"))
+    print()
+    print(
+        "Every run converged byte-identically to its crash-free history\n"
+        "(piecewise determinism), and every online recovery line equalled\n"
+        "the offline fixpoint.  Independent checkpointing pays deep\n"
+        "rollbacks (the domino effect); the RDT protocols keep recovery\n"
+        "shallow and local."
+    )
+
+
+if __name__ == "__main__":
+    main()

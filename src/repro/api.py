@@ -9,6 +9,8 @@ keyword-only entrypoints plus the analysis and observability types:
   :class:`~repro.harness.experiment.ComparisonResult`;
 * :func:`sweep` -- a figure-style parameter sweep through the parallel
   cached runner, returns the :class:`~repro.harness.sweep.SweepResult`;
+* :func:`recover` -- a crash-injected run with online recovery, returns
+  the :class:`~repro.sim.crashes.RecoveryReplayResult`;
 * :func:`analyze_rdt` / :func:`find_z_cycles` /
   :func:`useless_checkpoints` -- the paper's offline characterizations;
 * :class:`Tracer` / :mod:`metrics <repro.obs.metrics>` /
@@ -43,17 +45,25 @@ from repro.obs import metrics  # noqa: F401  (re-exported module)
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.profile import Profiler
 from repro.obs.tracer import Tracer
-from repro.sim import ReplayResult, Simulation, SimulationConfig
+from repro.sim import (
+    CrashSchedule,
+    RecoveryReplayResult,
+    ReplayResult,
+    Simulation,
+    SimulationConfig,
+)
 from repro.types import SimulationError
 from repro.workloads import WORKLOADS
 from repro.workloads.base import Workload
 
 __all__ = [
     "ComparisonResult",
+    "CrashSchedule",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Profiler",
     "RDTReport",
+    "RecoveryReplayResult",
     "ReplayResult",
     "ResultCache",
     "RunnerStats",
@@ -64,6 +74,7 @@ __all__ = [
     "compare",
     "find_z_cycles",
     "metrics",
+    "recover",
     "run",
     "sweep",
     "useless_checkpoints",
@@ -247,6 +258,7 @@ def sweep(
     verify_rdt: bool = False,
     backend: str = "auto",
     workers: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
     cache: Union[ResultCache, str, None, bool] = False,
     workload_args: Optional[Dict[str, object]] = None,
     config: Optional[SimulationConfig] = None,
@@ -272,6 +284,9 @@ def sweep(
     otherwise -- results are bit-identical either way).  ``cache``
     defaults to off; pass a path or :class:`ResultCache` to memoise
     cells, or ``None`` to honour the ``REPRO_SWEEP_CACHE`` env var.
+    ``cell_timeout`` bounds one cell's wall time on the process backend;
+    crashed or hung workers are retried with backoff (see
+    :func:`repro.harness.runner.run_sweep`).
     """
     if backend not in ("auto", "serial", "process"):
         raise SimulationError(
@@ -296,11 +311,66 @@ def sweep(
         seeds=seeds,
         verify_rdt=verify_rdt,
         workers=workers,
+        cell_timeout=cell_timeout,
         cache=cache,
         progress=progress,
         tracer=tracer,
         metrics=metrics,
         profiler=profiler,
+    )
+
+
+def recover(
+    workload: WorkloadSpec = "random",
+    *,
+    protocol: str = "bhmr",
+    crashes: Union["CrashSchedule", int] = 1,
+    crash_seed: int = 0,
+    cross_check: bool = True,
+    gc_every_ops: Optional[int] = None,
+    workload_args: Optional[Dict[str, object]] = None,
+    config: Optional[SimulationConfig] = None,
+    n: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: Optional[int] = None,
+    basic_rate: Optional[float] = None,
+    close: bool = True,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[Profiler] = None,
+) -> RecoveryReplayResult:
+    """Simulate one scenario while injecting crashes and recovering online.
+
+    ``crashes`` is either a ready :class:`CrashSchedule` or an integer
+    count of crashes to draw deterministically from ``crash_seed`` (the
+    draw is independent of the scenario seed, so the same fault pattern
+    can be injected under different protocols).  Each crash triggers an
+    online recovery -- recovery line from the live R-graph, rollback,
+    sender-log replay, re-execution -- and, with ``cross_check`` (the
+    default), is verified against the offline fixpoint on the prefix
+    history.  ``gc_every_ops`` additionally runs the safe online
+    sender-log garbage collector at that op cadence.
+    """
+    resolved = _resolve_config(config, n, duration, seed, basic_rate)
+    if isinstance(crashes, int):
+        schedule = CrashSchedule.random(
+            resolved.n, resolved.duration, count=crashes, seed=crash_seed
+        )
+    else:
+        schedule = crashes
+    sim = Simulation(
+        _workload_factory(workload, workload_args)(),
+        resolved,
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
+    )
+    return sim.run_with_crashes(
+        protocol,
+        schedule,
+        close=close,
+        cross_check=cross_check,
+        gc_every_ops=gc_every_ops,
     )
 
 

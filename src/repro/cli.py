@@ -323,6 +323,8 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_recover(args) -> int:
+    if args.inject_crashes or args.crash_at:
+        return _cmd_recover_online(args)
     sim = Simulation(_make_workload(args)(), _config(args))
     history = sim.run(args.protocol).history
     crash = {args.crash_pid: CrashSpec(args.crash_pid, at_time=args.crash_time)}
@@ -332,6 +334,91 @@ def cmd_recover(args) -> int:
     print(f"events undone: {line.events_undone}")
     plan = replay_plan(history, line.cut)
     print(f"msgs to replay: {plan.total}")
+    return 0
+
+
+def _cmd_recover_online(args) -> int:
+    """Crash-injection mode: the online recovery engine, end to end."""
+    from repro.sim import CrashSchedule
+
+    obs = _Obs(args)
+    if args.crash_at:
+        specs = []
+        for item in args.crash_at:
+            pid_s, _, time_s = item.partition(":")
+            try:
+                specs.append((int(pid_s), float(time_s)))
+            except ValueError:
+                raise SystemExit(f"bad --crash-at {item!r}; expected PID:TIME")
+        schedule: object = CrashSchedule.at(*specs)
+    else:
+        schedule = CrashSchedule.random(
+            args.n,
+            args.duration,
+            count=args.inject_crashes,
+            seed=args.crash_seed,
+        )
+    result = api.recover(
+        protocol=args.protocol,
+        crashes=schedule,
+        seed=args.seed,
+        gc_every_ops=args.gc_every,
+        **_workload_spec(args),
+        **obs.kwargs(),
+    )
+    crash_docs = []
+    for rec in result.crashes:
+        crash_docs.append(
+            {
+                "t": rec.time,
+                "crashed": list(rec.crashed),
+                "cut": [rec.online.cut[p] for p in range(args.n)],
+                "events_undone": rec.online.events_undone,
+                "max_depth": rec.online.max_depth,
+                "messages_replayed": rec.messages_replayed,
+                "events_reexecuted": rec.events_reexecuted,
+                "online_equals_offline": rec.offline_cut is None
+                or rec.offline_cut == rec.online.cut,
+            }
+        )
+    doc: Dict[str, object] = {
+        "command": "recover",
+        "workload": args.workload,
+        "protocol": args.protocol,
+        "seed": args.seed,
+        "crash_seed": args.crash_seed,
+        "crashes": crash_docs,
+        "totals": {
+            "events_undone": result.total_events_undone,
+            "messages_replayed": result.total_messages_replayed,
+            "max_rollback_depth": result.max_rollback_depth,
+        },
+    }
+    if not obs.json:
+        rows = [
+            {
+                "t": f"{c['t']:.3f}",
+                "crashed": ",".join(f"P{p}" for p in c["crashed"]),
+                "cut": " ".join(str(x) for x in c["cut"]),
+                "undone": c["events_undone"],
+                "depth": c["max_depth"],
+                "replayed": c["messages_replayed"],
+                "online==offline": "yes" if c["online_equals_offline"] else "NO",
+            }
+            for c in crash_docs
+        ]
+        title = f"recover: {args.protocol} ({len(crash_docs)} crashes)"
+        if rows:
+            print(render_table(rows, title=title))
+        else:
+            print(f"{title}: schedule was empty")
+        print(
+            f"totals: undone={result.total_events_undone} "
+            f"replayed={result.total_messages_replayed} "
+            f"max_depth={result.max_rollback_depth}"
+        )
+    obs.finish(doc)
+    obs.emit(doc)
     return 0
 
 
@@ -426,11 +513,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-violations", type=int, default=10)
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("recover", help="crash + recovery line")
+    p = sub.add_parser("recover", help="crash injection + online recovery")
     _add_scenario_args(p)
+    _add_obs_args(p)
     p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
     p.add_argument("--crash-pid", type=int, default=0)
     p.add_argument("--crash-time", type=float, default=None)
+    p.add_argument(
+        "--inject-crashes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="inject N seeded crashes and recover online (engine mode)",
+    )
+    p.add_argument(
+        "--crash-seed",
+        type=int,
+        default=0,
+        help="seed for the injected crash schedule",
+    )
+    p.add_argument(
+        "--crash-at",
+        action="append",
+        metavar="PID:TIME",
+        help="inject an explicit crash (repeatable; engine mode)",
+    )
+    p.add_argument(
+        "--gc-every",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help="run the online sender-log GC every OPS trace ops",
+    )
     p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("protocols", help="list known protocols")

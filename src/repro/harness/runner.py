@@ -39,8 +39,9 @@ import multiprocessing
 import os
 import pickle
 import time
-from functools import partial
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -234,6 +235,8 @@ class RunnerStats:
     note: str = ""
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     metrics: Optional[MetricsSnapshot] = None
+    #: Cell executions re-attempted after a worker crashed or hung.
+    retries: int = 0
 
     @property
     def cells_run(self) -> int:
@@ -276,6 +279,7 @@ class RunnerStats:
             "note": self.note,
             "phase_seconds": dict(sorted(self.phase_seconds.items())),
             "metrics": None if self.metrics is None else self.metrics.to_dict(),
+            "retries": self.retries,
         }
 
     @classmethod
@@ -333,15 +337,102 @@ def _cells_picklable(cells: Sequence[SweepCell]) -> bool:
         return False
 
 
-def _run_cells_parallel(
-    cells: Sequence[SweepCell], workers: int, collect_obs: bool
-) -> List[Tuple[bytes, float, Optional[Dict]]]:
+def _mp_context():
     methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        return list(
-            pool.map(partial(_execute_cell, collect_obs=collect_obs), cells)
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool with a hung worker without waiting on it.
+
+    ``shutdown(wait=True)`` would block forever on a wedged worker, so
+    the processes are terminated directly -- and must be grabbed *before*
+    ``shutdown``, which nulls the ``_processes`` dict.  ``_processes`` is
+    a private attribute, stable across CPython 3.8-3.13; if it ever
+    disappears the hung workers simply leak until process exit (still no
+    deadlock, because the management thread notices the broken pipe).
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best effort
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
+def _run_cells_parallel(
+    cells: Sequence[SweepCell],
+    workers: int,
+    collect_obs: bool,
+    max_attempts: int = 3,
+    backoff: float = 0.2,
+    cell_timeout: Optional[float] = None,
+) -> Tuple[List[Tuple[bytes, float, Optional[Dict]]], int, str]:
+    """Run cells on a process pool, retrying crashed or hung workers.
+
+    A worker that dies (``BrokenProcessPool`` -- OOM kill, segfault,
+    ``os._exit`` in user workload code) or exceeds ``cell_timeout``
+    fails only its own cells: finished cells keep their results, the
+    failed ones are retried on a fresh pool after an exponential
+    backoff (``backoff * 2**attempt`` seconds).  Deterministic
+    exceptions *raised by* a cell are not retried -- they propagate, as
+    rerunning a pure function cannot change its outcome.  Cells still
+    failing after ``max_attempts`` pool rounds run serially in the
+    parent as a last resort, so one poisoned worker environment cannot
+    kill a whole sweep.
+
+    Returns ``(results-in-input-order, retries, note)``.
+    """
+    results: List[Optional[Tuple[bytes, float, Optional[Dict]]]] = [
+        None
+    ] * len(cells)
+    remaining = list(range(len(cells)))
+    retries = 0
+    note = ""
+    for attempt in range(max_attempts):
+        if not remaining:
+            break
+        if attempt:
+            time.sleep(backoff * (2 ** (attempt - 1)))
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(remaining)), mp_context=_mp_context()
         )
+        hung = False
+        failed: List[int] = []
+        try:
+            futures = {
+                i: pool.submit(_execute_cell, cells[i], collect_obs)
+                for i in remaining
+            }
+            for i in remaining:
+                try:
+                    results[i] = futures[i].result(timeout=cell_timeout)
+                except FutureTimeoutError:
+                    failed.append(i)
+                    hung = True
+                except BrokenProcessPool:
+                    failed.append(i)
+        finally:
+            if hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        retries += len(failed)
+        remaining = failed
+    if remaining:
+        note = (
+            f"{len(remaining)} cell(s) ran in-process after "
+            f"{max_attempts} worker attempts"
+        )
+        for i in remaining:
+            results[i] = _execute_cell(cells[i], collect_obs=collect_obs)
+    return results, retries, note  # type: ignore[return-value]
 
 
 def run_sweep(
@@ -358,6 +449,8 @@ def run_sweep(
     tracer=None,
     metrics: Optional[MetricsRegistry] = None,
     profiler: Optional[Profiler] = None,
+    cell_timeout: Optional[float] = None,
+    max_worker_attempts: int = 3,
 ) -> SweepResult:
     """Parallel, cached drop-in for :func:`repro.harness.sweep.ratio_sweep`.
 
@@ -376,6 +469,13 @@ def run_sweep(
         enables that store.
     progress:
         Optional callback receiving one line per finished cell.
+    cell_timeout / max_worker_attempts:
+        Worker-robustness knobs for the process backend: a cell whose
+        worker crashes or exceeds ``cell_timeout`` seconds is retried
+        (with exponential backoff, ``RunnerStats.retries`` counts the
+        re-attempts) up to ``max_worker_attempts`` pool rounds, then run
+        serially in the parent -- a dying or hung worker degrades the
+        sweep instead of killing it.
     tracer:
         A :class:`repro.obs.Tracer`.  Tracing forces serial execution
         (a trace cannot deterministically interleave worker processes)
@@ -449,7 +549,20 @@ def run_sweep(
         to_run = [cells[i] for i in pending]
         if workers > 1 and _cells_picklable(to_run):
             stats.mode = f"process[{workers}]"
-            outcomes = _run_cells_parallel(to_run, workers, collect_obs)
+            outcomes, retries, retry_note = _run_cells_parallel(
+                to_run,
+                workers,
+                collect_obs,
+                max_attempts=max_worker_attempts,
+                cell_timeout=cell_timeout,
+            )
+            stats.retries = retries
+            if retry_note:
+                stats.note = (
+                    f"{stats.note}; {retry_note}" if stats.note else retry_note
+                )
+            if runner_metrics is not None and retries:
+                runner_metrics.inc("sweep.worker_retries", retries)
         else:
             if workers > 1:
                 stats.note = "scenario not picklable; fell back to serial"

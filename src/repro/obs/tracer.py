@@ -44,6 +44,9 @@ KINDS = (
     "closure.edge",     # incremental R-graph closure absorbed an edge
     "sweep.cell",       # one sweep cell finished (or was served cached)
     "phase",            # span open/close marker (begin/end field)
+    "recovery.crash",   # injected failure struck (crashed pids)
+    "recovery.line",    # online recovery line computed at a crash
+    "recovery.replay",  # rollback done: re-execution + log replay stats
 )
 
 

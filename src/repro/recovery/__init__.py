@@ -20,6 +20,7 @@ from repro.recovery.logging import (
     build_sender_logs,
     replay_plan,
 )
+from repro.recovery.manager import OnlineGC, OnlineRecovery, RecoveryManager
 from repro.recovery.recovery_line import (
     RecoveryLine,
     recovery_line,
@@ -35,7 +36,10 @@ __all__ = [
     "global_recovery_floor",
     "obsolete_checkpoints",
     "recovery_line_monotone",
+    "OnlineGC",
+    "OnlineRecovery",
     "RecoveryLine",
+    "RecoveryManager",
     "ReplayPlan",
     "SenderLog",
     "build_sender_logs",

@@ -29,10 +29,20 @@ class CrashSpec:
     for volatile end-of-run state that a crash destroys.  Surviving
     processes, by contrast, keep their volatile state and may stay at
     them.
+
+    ``initial_is_stable`` covers crash instants that precede every
+    recorded checkpoint time: instead of raising, the restart candidate
+    is the initial checkpoint ``C(pid, 0)`` -- which is *always* on
+    stable storage (it is taken at process start, before any event).
+    :func:`repro.recovery.gc.global_recovery_floor` sets it because the
+    floor must be defined at every time, including before any progress;
+    the default stays strict so a hand-written spec naming an impossible
+    crash instant is still flagged.
     """
 
     pid: ProcessId
     at_time: Optional[float] = None
+    initial_is_stable: bool = False
 
     def restart_checkpoint(self, history: History) -> CheckpointId:
         """Last stable checkpoint available to the crashed process."""
@@ -45,6 +55,8 @@ class CrashSpec:
             and (self.at_time is None or ev.time <= self.at_time)
         ]
         if not candidates:
+            if self.initial_is_stable:
+                return CheckpointId(self.pid, 0)
             raise PatternError(
                 f"process {self.pid} has no checkpoint before time {self.at_time}"
             )

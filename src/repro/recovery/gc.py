@@ -18,8 +18,14 @@ consistent cut under the (only growing) future bounds dominates it.
 simulated runs by comparing lines at increasing crash times.
 
 Consequently every checkpoint strictly below ``L`` is *obsolete* and
-reclaimable, as is every logged message sent in an interval at or below
-``L`` of its sender (it can never cross a future recovery line).
+reclaimable, as is every logged message that lies entirely at or below
+``L`` **on both sides**: sent in an interval ``<= L[src]`` *and*
+delivered in an interval ``<= L[dst]``.  The sender-side condition alone
+is not safe: a message sent at or below ``L`` but delivered above it
+*crosses* ``L`` (it is exactly one of ``L.messages_to_replay``) and is
+still needed by any later line ``L' >= L`` whose receiver entry satisfies
+``L'[dst] < deliver_interval`` -- such lines exist whenever the receiver
+can still be rolled back into the crossing delivery's interval.
 """
 
 from __future__ import annotations
@@ -57,10 +63,16 @@ class GCReport:
 def global_recovery_floor(
     history: History, at_time: Optional[float] = None
 ) -> RecoveryLine:
-    """The total-failure recovery line: the floor future lines never cross."""
+    """The total-failure recovery line: the floor future lines never cross.
+
+    Defined at *every* ``at_time``, including instants before a process
+    has taken its first post-initial checkpoint: the initial checkpoint
+    is always stable, so such a process is simply bounded at index 0
+    (``initial_is_stable``) rather than erroring.
+    """
     history = history.closed()
     crashes = {
-        pid: CrashSpec(pid, at_time=at_time)
+        pid: CrashSpec(pid, at_time=at_time, initial_is_stable=True)
         for pid in range(history.num_processes)
     }
     return recovery_line(history, crashes)
@@ -85,8 +97,10 @@ def collect_garbage(
     """One GC pass: identify obsolete checkpoints, trim sender logs.
 
     ``logs`` (from :func:`repro.recovery.logging.build_sender_logs` or a
-    live deployment) is trimmed in place: messages sent at or below the
-    floor of their sender can never need replay again.
+    live deployment) is trimmed in place: messages sent *and delivered*
+    at or below the floor can never need replay again.  Messages merely
+    sent below it may still cross a later recovery line and are kept
+    (see :meth:`repro.recovery.logging.SenderLog.collect_garbage`).
     """
     history = history.closed()
     floor = global_recovery_floor(history, at_time=at_time)
@@ -99,7 +113,7 @@ def collect_garbage(
     reclaimed_msgs = 0
     if logs is not None:
         for pid, log in logs.items():
-            reclaimed_msgs += log.collect_garbage(history, floor.cut[pid])
+            reclaimed_msgs += log.collect_garbage(history, floor.cut)
     return GCReport(
         line=floor,
         obsolete_checkpoints=obsolete,

@@ -17,7 +17,7 @@ Determinism Is Almost True") applies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
 from repro.analysis.consistency import in_transit_of_cut
 from repro.events.event import Message
@@ -71,17 +71,37 @@ class SenderLog:
     def lookup(self, msg_id: MessageId) -> Message:
         return self._messages[msg_id]
 
-    def collect_garbage(self, history: History, safe_interval: int) -> int:
-        """Drop messages sent in intervals <= ``safe_interval``.
+    def collect_garbage(self, history: History, floor: Mapping[ProcessId, int]) -> int:
+        """Drop messages that no future recovery line can ever need.
 
-        ``safe_interval`` must come from an advanced recovery line (no
-        rollback will ever cross it again); returns the number dropped.
+        ``floor`` is the cut of an advanced recovery floor (see
+        :func:`repro.recovery.gc.global_recovery_floor`): no rollback
+        will ever cross it again.  A logged message ``m`` is dead iff it
+        lies entirely at or below the floor **on both sides**:
+        ``send_interval(m) <= floor[src]`` *and* it was delivered with
+        ``deliver_interval(m) <= floor[dst]``.
+
+        The sender-side condition alone is NOT safe: a message sent at
+        or below the floor but delivered above it *crosses* the floor
+        (it is exactly one of ``floor.messages_to_replay``), and any
+        later recovery line ``L' >= floor`` with
+        ``L'[dst] < deliver_interval(m)`` still needs it replayed from
+        this log.  Undelivered messages sent at or below the floor cross
+        every future line for the same reason and are likewise kept.
+
+        Returns the number of messages dropped.
         """
-        dead = [
-            mid
-            for mid, m in self._messages.items()
-            if history.send_interval(m) <= safe_interval
-        ]
+        safe_interval = floor[self.pid]
+        dead = []
+        for mid, m in self._messages.items():
+            if history.send_interval(m) > safe_interval:
+                continue
+            if not m.delivered:
+                continue  # permanently in transit: crosses every future line
+            deliver_interval = history.deliver_interval(m)
+            assert deliver_interval is not None
+            if deliver_interval <= floor[m.dst]:
+                dead.append(mid)
         for mid in dead:
             del self._messages[mid]
         return len(dead)

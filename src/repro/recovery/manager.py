@@ -1,0 +1,378 @@
+"""The online recovery manager: recovery lines from *live* state.
+
+The paper's operational payoff is that under RDT a recovery line can be
+determined **on-line**, from visible (piggybackable) dependency
+information, at the instant a failure strikes -- no post-mortem analysis
+of a finished history.  :class:`RecoveryManager` realises that: it
+follows a running computation event by event (checkpoints, sends,
+deliveries), maintaining
+
+* a live :class:`~repro.graph.incremental.IncrementalRGraph` whose
+  frontier nodes stand for every process's currently-open interval,
+* live per-process :class:`~repro.recovery.logging.SenderLog`\\ s, and
+* the interval bookkeeping needed to turn a crash into a rollback.
+
+At crash time, :meth:`crash` answers from that live state alone: the
+recovery line (rollback propagation read off the incremental closure,
+survivors bounded by their frontier, crashed processes by their last
+taken checkpoint), the messages that cross it (the replay plan, served
+from the sender logs), and the rollback metrics.  The differential suite
+cross-checks every such answer against the offline
+:func:`repro.recovery.recovery_line.recovery_line` fixpoint on the
+closed prefix history.
+
+:meth:`collect_garbage` runs the *safe* log-GC rule online (both-sides
+condition -- see :mod:`repro.recovery.gc`): messages are reclaimed only
+when sent *and* delivered at or below the current total-failure floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+from repro.events.event import Message
+from repro.graph.incremental import IncrementalRGraph
+from repro.recovery.logging import SenderLog
+from repro.types import CheckpointId, MessageId, ProcessId, RecoveryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.history import History
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+
+@dataclass
+class OnlineRecovery:
+    """One crash handled online: the line, the plan, the damage."""
+
+    time: float
+    crashed: Tuple[ProcessId, ...]
+    cut: Dict[ProcessId, int]
+    bounds: Dict[ProcessId, int]
+    events_undone: int
+    rollback_depth: Dict[ProcessId, int]
+    to_replay: List[MessageId] = field(default_factory=list)
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.rollback_depth.values(), default=0)
+
+    @property
+    def total_depth(self) -> int:
+        return sum(self.rollback_depth.values())
+
+    def __repr__(self) -> str:
+        who = ",".join(f"P{p}" for p in self.crashed)
+        return (
+            f"<OnlineRecovery {who}@t={self.time:g} cut={self.cut} "
+            f"undone={self.events_undone} replay={len(self.to_replay)}>"
+        )
+
+
+@dataclass
+class OnlineGC:
+    """One online garbage-collection pass over the sender logs."""
+
+    floor: Dict[ProcessId, int]
+    reclaimed_log_messages: int
+    dropped: List[MessageId] = field(default_factory=list)
+
+
+class _MessageRecord:
+    """Live interval bookkeeping for one sent message."""
+
+    __slots__ = ("message", "send_interval", "deliver_interval")
+
+    def __init__(self, message: Message, send_interval: int) -> None:
+        self.message = message
+        self.send_interval = send_interval
+        self.deliver_interval: Optional[int] = None
+
+
+class RecoveryManager:
+    """Follows a live run; answers recovery questions at crash time.
+
+    Feed it with :meth:`on_checkpoint` / :meth:`on_send` /
+    :meth:`on_deliver` in event order (the crash-injected replay engine
+    in :mod:`repro.sim.crashes` does this; :meth:`from_history` replays
+    a recorded history's feed for offline cross-checks).  After a
+    rollback, the *same* events are fed again as the resumed execution
+    re-runs them; the manager recognises re-taken checkpoints by index
+    and the incremental closure absorbs re-inserted edges as no-ops, so
+    by piecewise determinism the live graph always equals the graph of
+    the current prefix.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.n = n
+        self.rgraph = IncrementalRGraph(n, tracer=tracer, metrics=metrics)
+        self.logs: Dict[ProcessId, SenderLog] = {
+            pid: SenderLog(pid) for pid in range(n)
+        }
+        self.tracer = tracer
+        self.metrics = metrics
+        self._records: Dict[MessageId, _MessageRecord] = {}
+        # Events recorded per process, and the running count at the
+        # moment each checkpoint (index-aligned, incl. the checkpoint
+        # event itself) was taken.  Initial checkpoints count as one
+        # event, mirroring the recorder/History convention.
+        self._event_count: List[int] = [1] * n
+        self._count_at_ckpt: List[List[int]] = [[1] for _ in range(n)]
+        #: Every message id ever dropped by online GC (for safety audits).
+        self.gc_dropped: Set[MessageId] = set()
+
+    # ------------------------------------------------------------------
+    # live feed
+    # ------------------------------------------------------------------
+    def last_taken(self, pid: ProcessId) -> int:
+        """Index of ``pid``'s last taken (stable) checkpoint."""
+        return len(self._count_at_ckpt[pid]) - 1
+
+    def open_events(self, pid: ProcessId) -> int:
+        """Events in ``pid``'s currently-open interval (volatile tail)."""
+        return self._event_count[pid] - self._count_at_ckpt[pid][-1]
+
+    def on_checkpoint(self, pid: ProcessId, index: int, t: float = 0.0) -> None:
+        """``pid`` took checkpoint ``index`` (its next, or a re-take).
+
+        A re-execution after rollback re-takes checkpoints the graph has
+        already seen; those update the bookkeeping but not the graph.
+        """
+        expected = self.last_taken(pid) + 1
+        if index != expected:
+            raise RecoveryError(
+                f"P{pid} took checkpoint {index}, expected {expected}"
+            )
+        self._event_count[pid] += 1
+        self._count_at_ckpt[pid].append(self._event_count[pid])
+        if index > self.rgraph.last_index(pid):
+            self.rgraph.take_checkpoint(pid, t=t)
+
+    def on_send(self, message: Message, t: float = 0.0) -> None:
+        """``message`` was just sent: log it, remember its interval."""
+        send_interval = self.last_taken(message.src) + 1
+        self._records[message.msg_id] = _MessageRecord(message, send_interval)
+        self.logs[message.src].record(message)
+        self._event_count[message.src] += 1
+
+    def on_deliver(self, message: Message, t: float = 0.0) -> None:
+        """``message`` was just delivered: hook its R-graph edge."""
+        record = self._records[message.msg_id]
+        deliver_interval = self.last_taken(message.dst) + 1
+        record.deliver_interval = deliver_interval
+        self._event_count[message.dst] += 1
+        self.rgraph.observe_delivery(
+            message.src, record.send_interval, message.dst, deliver_interval, t=t
+        )
+
+    @classmethod
+    def from_history(
+        cls,
+        history: "History",
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "RecoveryManager":
+        """Replay a recorded history's feed in time order.
+
+        FINAL checkpoints are *not* fed: they are the closure's stand-in
+        for open intervals, which the live manager represents by its
+        frontier state.
+        """
+        from repro.events.event import CheckpointKind
+
+        manager = cls(history.num_processes, tracer=tracer, metrics=metrics)
+        for event in history.events_by_time():
+            if event.is_checkpoint:
+                if (
+                    event.checkpoint_index == 0
+                    or event.checkpoint_kind is CheckpointKind.FINAL
+                ):
+                    continue
+                manager.on_checkpoint(event.pid, event.checkpoint_index, event.time)
+            elif event.is_send:
+                manager.on_send(history.message(event.msg_id), event.time)
+            elif event.is_deliver:
+                manager.on_deliver(history.message(event.msg_id), event.time)
+        return manager
+
+    # ------------------------------------------------------------------
+    # online answers
+    # ------------------------------------------------------------------
+    def _bounds(self, crashed: Set[ProcessId]) -> Dict[ProcessId, int]:
+        """Rollback upper bounds: crashed at their last stable
+        checkpoint, survivors at their frontier (volatile state kept)."""
+        bounds: Dict[ProcessId, int] = {}
+        for pid in range(self.n):
+            last = self.last_taken(pid)
+            if pid in crashed:
+                bounds[pid] = last
+            else:
+                bounds[pid] = last + 1 if self.open_events(pid) else last
+        return bounds
+
+    def online_recovery_line(
+        self, crashed: Sequence[ProcessId]
+    ) -> Dict[ProcessId, int]:
+        """The recovery line, from the live graph alone.
+
+        Wang's rollback propagation read off the incremental closure:
+        the rollback sources are the *frontier* nodes of crashed
+        processes with a volatile tail (their open interval is exactly
+        what the crash destroys); entry ``j`` of the line is the largest
+        ``y <= bound[j]`` no source R-reaches strictly.  A survivor
+        entry equal to ``last_taken + 1`` means "keep the volatile
+        state, do not roll back at all".
+        """
+        crashed_set = set(crashed)
+        bounds = self._bounds(crashed_set)
+        sources = [
+            self.rgraph.frontier(pid)
+            for pid in sorted(crashed_set)
+            if self.open_events(pid)
+        ]
+        cut: Dict[ProcessId, int] = {}
+        for pid in range(self.n):
+            chosen = 0
+            for y in range(bounds[pid], -1, -1):
+                target = CheckpointId(pid, y)
+                if not any(
+                    self.rgraph.reaches_strictly(src, target) for src in sources
+                ):
+                    chosen = y
+                    break
+            cut[pid] = chosen
+        return cut
+
+    def replay_plan_ids(self, cut: Dict[ProcessId, int]) -> List[MessageId]:
+        """Messages crossing ``cut``: sent at/below, not delivered at/below."""
+        out = []
+        for mid, record in self._records.items():
+            if record.send_interval > cut[record.message.src]:
+                continue
+            if (
+                record.deliver_interval is not None
+                and record.deliver_interval <= cut[record.message.dst]
+            ):
+                continue
+            out.append(mid)
+        return sorted(out)
+
+    def crash(self, pids: Sequence[ProcessId], t: float = 0.0) -> OnlineRecovery:
+        """Handle the simultaneous failure of ``pids`` at time ``t``.
+
+        Computes the line and the plan from live state and verifies the
+        plan is fully served by the sender logs -- the call that an
+        unsafe log GC makes fail.  The caller performs the actual
+        rollback (:meth:`rollback` plus its own recorder/protocol state).
+        """
+        cut = self.online_recovery_line(pids)
+        bounds = self._bounds(set(pids))
+        undone = 0
+        depth: Dict[ProcessId, int] = {}
+        for pid in range(self.n):
+            last = self.last_taken(pid)
+            if cut[pid] > last:  # survivor keeping its volatile state
+                depth[pid] = 0
+                continue
+            depth[pid] = last - cut[pid]
+            undone += self._event_count[pid] - self._count_at_ckpt[pid][cut[pid]]
+        plan = self.replay_plan_ids(cut)
+        for mid in plan:
+            src = self._records[mid].message.src
+            try:
+                self.logs[src].lookup(mid)
+            except KeyError:
+                raise RecoveryError(
+                    f"message m{mid} crosses the recovery line but is gone "
+                    f"from P{src}'s sender log (unsafely garbage-collected?)"
+                ) from None
+        return OnlineRecovery(
+            time=t,
+            crashed=tuple(sorted(set(pids))),
+            cut=cut,
+            bounds=bounds,
+            events_undone=undone,
+            rollback_depth=depth,
+            to_replay=plan,
+        )
+
+    def rollback(self, cut: Dict[ProcessId, int]) -> None:
+        """Roll the manager's bookkeeping back to ``cut``.
+
+        The live graph is *not* rolled back: the resumed execution
+        re-takes the same checkpoints and re-inserts the same edges
+        (piecewise determinism), so its closure stays exact.  Messages
+        sent above the cut are forgotten (their re-sends re-record
+        them); deliveries above the cut revert to in-transit.
+        """
+        for pid in range(self.n):
+            if cut[pid] > self.last_taken(pid):
+                continue  # no rollback for this process
+            del self._count_at_ckpt[pid][cut[pid] + 1 :]
+            self._event_count[pid] = self._count_at_ckpt[pid][cut[pid]]
+        dead_sends = [
+            mid
+            for mid, record in self._records.items()
+            if record.send_interval > cut[record.message.src]
+        ]
+        for mid in dead_sends:
+            src = self._records[mid].message.src
+            del self._records[mid]
+            if mid in self.logs[src]._messages:
+                del self.logs[src]._messages[mid]
+        for record in self._records.values():
+            if (
+                record.deliver_interval is not None
+                and record.deliver_interval > cut[record.message.dst]
+            ):
+                record.deliver_interval = None
+
+    # ------------------------------------------------------------------
+    # online garbage collection (the safe rule, live)
+    # ------------------------------------------------------------------
+    def recovery_floor(self) -> Dict[ProcessId, int]:
+        """The online total-failure line: every process crashed now."""
+        return self.online_recovery_line(list(range(self.n)))
+
+    def collect_garbage(self) -> OnlineGC:
+        """Trim the sender logs with the safe (both-sides) rule.
+
+        A logged message dies only when sent *and* delivered at or below
+        the current floor; crossing and in-transit messages survive, so
+        every future :meth:`crash` can still serve its replay plan.
+        """
+        floor = self.recovery_floor()
+        dropped: List[MessageId] = []
+        for mid, record in self._records.items():
+            if record.send_interval > floor[record.message.src]:
+                continue
+            if record.deliver_interval is None:
+                continue
+            if record.deliver_interval > floor[record.message.dst]:
+                continue
+            log = self.logs[record.message.src]
+            if mid in log._messages:
+                del log._messages[mid]
+                dropped.append(mid)
+        self.gc_dropped.update(dropped)
+        if self.metrics is not None:
+            self.metrics.inc("recovery.gc_reclaimed", len(dropped))
+        return OnlineGC(
+            floor=floor,
+            reclaimed_log_messages=len(dropped),
+            dropped=sorted(dropped),
+        )
+
+    def __repr__(self) -> str:
+        logged = sum(len(log) for log in self.logs.values())
+        return (
+            f"<RecoveryManager n={self.n} "
+            f"ckpts={[self.last_taken(p) for p in range(self.n)]} "
+            f"logged={logged}>"
+        )

@@ -1,7 +1,13 @@
-"""Discrete-event simulation testbed: kernel, traces, replay, façade."""
+"""Discrete-event simulation testbed: kernel, traces, replay, crashes."""
 
 from repro.sim.channel import ChannelMap
+from repro.sim.crashes import (
+    CrashRecord,
+    RecoveryReplayResult,
+    replay_with_recovery,
+)
 from repro.sim.delays import Constant, DelayModel, Exponential, LogNormal, Uniform
+from repro.sim.faults import CrashSchedule, InjectedCrash
 from repro.sim.generate import TraceGenerator, generate_trace
 from repro.sim.kernel import Scheduler
 from repro.sim.replay import ReplayResult, replay, replay_many
@@ -11,9 +17,13 @@ from repro.sim.trace import Trace, TraceOp, TraceOpKind
 __all__ = [
     "ChannelMap",
     "Constant",
+    "CrashRecord",
+    "CrashSchedule",
     "DelayModel",
     "Exponential",
+    "InjectedCrash",
     "LogNormal",
+    "RecoveryReplayResult",
     "ReplayResult",
     "Scheduler",
     "Simulation",
@@ -26,5 +36,6 @@ __all__ = [
     "generate_trace",
     "replay",
     "replay_many",
+    "replay_with_recovery",
     "run_scenario",
 ]

@@ -1,0 +1,113 @@
+"""Deterministic crash schedules for fault-injection runs.
+
+A :class:`CrashSchedule` is the fault model of one run: which processes
+crash, and at which simulated instants.  Schedules are plain data --
+built explicitly from :class:`InjectedCrash` entries or drawn
+deterministically from a seed (:meth:`CrashSchedule.random`) -- so a
+crash-injected run is a pure function of ``(scenario seed, crash seed)``
+and two runs with equal seeds produce byte-identical traces.
+
+The model is fail-stop with instantaneous recovery: at each scheduled
+instant the named process loses its volatile state (everything after its
+last checkpoint), the online recovery engine
+(:mod:`repro.sim.crashes`) computes the recovery line, rolls the system
+back, replays crossing messages from the sender logs and resumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.types import ProcessId, SimulationError
+
+
+@dataclass(frozen=True)
+class InjectedCrash:
+    """One scheduled failure: process ``pid`` crashes at time ``time``."""
+
+    pid: ProcessId
+    time: float
+
+    def __repr__(self) -> str:
+        return f"<crash P{self.pid}@t={self.time:g}>"
+
+
+class CrashSchedule:
+    """An ordered set of injected crashes.
+
+    Crashes are kept sorted by ``(time, pid)``; simultaneous crashes of
+    several processes form one *crash group* and are recovered together
+    (a multi-process failure).
+    """
+
+    def __init__(self, crashes: Sequence[InjectedCrash] = ()) -> None:
+        self.crashes: Tuple[InjectedCrash, ...] = tuple(
+            sorted(crashes, key=lambda c: (c.time, c.pid))
+        )
+        for crash in self.crashes:
+            if crash.time < 0:
+                raise SimulationError(f"crash time must be >= 0: {crash!r}")
+
+    @classmethod
+    def at(cls, *specs: Tuple[ProcessId, float]) -> "CrashSchedule":
+        """Explicit schedule from ``(pid, time)`` pairs."""
+        return cls([InjectedCrash(pid, t) for pid, t in specs])
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        duration: float,
+        count: int = 1,
+        seed: int = 0,
+        margin: float = 0.1,
+    ) -> "CrashSchedule":
+        """``count`` crashes at seeded-uniform times on seeded processes.
+
+        Times fall in ``[margin * duration, (1 - margin) * duration]`` so
+        crashes land mid-run rather than on the empty prologue/epilogue.
+        The draw is a pure function of the arguments -- one
+        ``random.Random(seed)`` stream, independent of the scenario's own
+        RNG, so the same schedule can be injected into different
+        workloads and protocols.
+        """
+        if n <= 0:
+            raise SimulationError("need at least one process to crash")
+        if count < 0:
+            raise SimulationError("crash count must be >= 0")
+        rng = random.Random(seed)
+        lo, hi = margin * duration, (1.0 - margin) * duration
+        crashes = [
+            InjectedCrash(rng.randrange(n), rng.uniform(lo, hi))
+            for _ in range(count)
+        ]
+        return cls(crashes)
+
+    # ------------------------------------------------------------------
+    def groups(self) -> List[Tuple[float, List[ProcessId]]]:
+        """Crashes grouped by instant: ``[(time, [pids...]), ...]``.
+
+        Several crashes of the *same* process at one instant collapse to
+        one; distinct instants stay separate recoveries.
+        """
+        grouped: Dict[float, List[ProcessId]] = {}
+        for crash in self.crashes:
+            pids = grouped.setdefault(crash.time, [])
+            if crash.pid not in pids:
+                pids.append(crash.pid)
+        return [(t, grouped[t]) for t in sorted(grouped)]
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+    def __iter__(self) -> Iterator[InjectedCrash]:
+        return iter(self.crashes)
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.crashes)
+        return f"<CrashSchedule [{inner}]>"

@@ -37,6 +37,7 @@ class Scheduler:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        self._halted = False
         self.events_processed = 0
         self.tracer = tracer
         self.metrics = metrics
@@ -50,6 +51,15 @@ class Scheduler:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self.schedule_at(self._now + delay, callback)
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` after the executing callback.
+
+        Callable from inside a callback (e.g. an injected-fault hook
+        stopping the world at a crash instant); pending events stay
+        queued, so a subsequent :meth:`run` resumes where it stopped.
+        """
+        self._halted = True
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         if time < self._now:
@@ -71,11 +81,12 @@ class Scheduler:
         if self._running:
             raise SimulationError("scheduler is not reentrant")
         self._running = True
+        self._halted = False
         tracer = self.tracer
         metrics = self.metrics
         try:
             processed = 0
-            while self._queue:
+            while self._queue and not self._halted:
                 time, _seq, callback = self._queue[0]
                 if until is not None and time > until:
                     self._now = until

@@ -108,6 +108,41 @@ class _Recorder:
         )
         return ev
 
+    def snapshot(self, pid: ProcessId) -> tuple:
+        """Opaque restore token for ``pid``'s current recorded state."""
+        return (len(self.events[pid]), self._ckpt_index[pid], self._last_time[pid])
+
+    def restore(self, pid: ProcessId, snap: tuple) -> List[Event]:
+        """Roll ``pid`` back to a :meth:`snapshot`; returns the undone events.
+
+        Sends after the snapshot are forgotten (their re-execution
+        re-records them identically); deliveries after it revert the
+        message to in-transit.  Restoring ``_last_time`` is what makes a
+        piecewise-deterministic re-execution reproduce byte-identical
+        event times.
+        """
+        n_events, ckpt_index, last_time = snap
+        undone = self.events[pid][n_events:]
+        del self.events[pid][n_events:]
+        self._ckpt_index[pid] = ckpt_index
+        self._last_time[pid] = last_time
+        for ev in undone:
+            if ev.is_send:
+                del self.messages[ev.msg_id]
+            elif ev.is_deliver:
+                # The send side may already be undone (both endpoints
+                # rolled back): then there is no entry left to revert.
+                m = self.messages.get(ev.msg_id)
+                if m is not None:
+                    self.messages[ev.msg_id] = Message(
+                        msg_id=m.msg_id,
+                        src=m.src,
+                        dst=m.dst,
+                        send_seq=m.send_seq,
+                        size=m.size,
+                    )
+        return undone
+
     def build(self, close: bool) -> History:
         history = History(self.events, self.messages)
         if close:

@@ -26,6 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import Profiler
     from repro.obs.tracer import Tracer
+    from repro.sim.crashes import RecoveryReplayResult
+    from repro.sim.faults import CrashSchedule
 
 
 @dataclass
@@ -141,6 +143,36 @@ class Simulation:
     ) -> Dict[str, ReplayResult]:
         """Replay the same trace under several protocols."""
         return {name: self.run(name, close=close) for name in protocols}
+
+    def run_with_crashes(
+        self,
+        protocol: str,
+        schedule: "CrashSchedule",
+        close: bool = True,
+        cross_check: bool = True,
+        gc_every_ops: Optional[int] = None,
+    ) -> "RecoveryReplayResult":
+        """Replay under one protocol while injecting a crash schedule.
+
+        The trace is the same protocol-independent pattern :meth:`run`
+        uses (crashes never alter what the application *would* do --
+        piecewise determinism); the fold around it gains failures and
+        online recoveries.  See
+        :func:`repro.sim.crashes.replay_with_recovery`.
+        """
+        from repro.sim.crashes import replay_with_recovery
+
+        return replay_with_recovery(
+            self.trace,
+            protocol_factory(protocol),
+            schedule,
+            close=close,
+            cross_check=cross_check,
+            gc_every_ops=gc_every_ops,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
 
 
 def run_scenario(

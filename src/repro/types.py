@@ -44,6 +44,11 @@ class AnalysisError(ReproError):
     """An analysis algorithm received input it cannot handle."""
 
 
+class RecoveryError(ReproError):
+    """Online recovery could not be carried out (e.g. a message crossing
+    the recovery line is missing from its sender's log)."""
+
+
 @dataclass(frozen=True, order=True)
 class CheckpointId:
     """Identity of a local checkpoint ``C(pid, index)``.

@@ -20,7 +20,11 @@ from tests.golden.scenarios import (  # noqa: E402
     BASELINE,
     GOLDEN_SCENARIOS,
     PROTOCOLS,
+    RECOVERY_CRASHES,
+    RECOVERY_PROTOCOLS,
+    RECOVERY_SCENARIO,
     SEEDS,
+    recovery_trace_lines,
 )
 
 
@@ -52,6 +56,18 @@ def main() -> None:
         path = HERE / f"{name}.json"
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
+
+    doc = {
+        "scenario": RECOVERY_SCENARIO,
+        "crashes": [list(c) for c in RECOVERY_CRASHES],
+        "protocols": {
+            protocol: recovery_trace_lines(protocol)
+            for protocol in RECOVERY_PROTOCOLS
+        },
+    }
+    path = HERE / "recovery_events.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

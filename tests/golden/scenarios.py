@@ -44,3 +44,24 @@ GOLDEN_SCENARIOS = {
         SimulationConfig(n=5, duration=30.0, basic_rate=0.2),
     ),
 }
+
+
+# ----------------------------------------------------------------------
+# crash-injection golden: the recovery.* event stream of one pinned
+# fault-injected run per protocol (byte-exact, like the counts above)
+# ----------------------------------------------------------------------
+RECOVERY_SCENARIO = "random_n4"
+RECOVERY_PROTOCOLS = ["bhmr", "fdas", "independent"]
+RECOVERY_CRASHES = ((0, 8.0), (2, 18.0))
+
+
+def recovery_trace_lines(protocol):
+    """The serialized ``recovery.*`` events of the pinned crash run."""
+    from repro.obs import Tracer
+    from repro.sim import CrashSchedule, Simulation
+
+    make_workload, config = GOLDEN_SCENARIOS[RECOVERY_SCENARIO]
+    tracer = Tracer()
+    sim = Simulation(make_workload(), config, tracer=tracer)
+    sim.run_with_crashes(protocol, CrashSchedule.at(*RECOVERY_CRASHES))
+    return [ev.line() for ev in tracer if ev.kind.startswith("recovery.")]

@@ -1,0 +1,113 @@
+"""Tier-2 differential tests: three recovery-line implementations.
+
+The repo now carries three independent computations of the recovery
+line:
+
+1. ``recovery_line`` -- the offline rollback-propagation fixpoint on a
+   closed history (the reference semantics);
+2. ``recovery_line_rgraph`` -- strict R-graph reachability on a batch
+   :class:`RGraph` (the paper's visible characterization);
+3. ``RecoveryManager.online_recovery_line`` -- the live engine's answer
+   from an *incrementally built* R-graph, as used at crash time.
+
+All three must agree exactly on every history and every crash map.  The
+crash engine additionally must converge (piecewise determinism) for
+every protocol over a spread of seeds.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.registry import PROTOCOLS
+from repro.events.random_pattern import random_pattern
+from repro.recovery import (
+    CrashSpec,
+    RecoveryManager,
+    recovery_line,
+    recovery_line_rgraph,
+)
+from repro.sim import CrashSchedule, Simulation, SimulationConfig
+from repro.workloads import RandomUniformWorkload
+
+PATTERN_CASES = 60
+ENGINE_SEEDS = range(6)
+
+
+def random_crash_map(history, rng):
+    """A random crash shape: subset of pids, each optionally time-bounded."""
+    n = history.num_processes
+    crashed = rng.sample(range(n), rng.randrange(1, n + 1))
+    last_time = max(ev.time for ev in history.all_events())
+    crashes = {}
+    for pid in crashed:
+        if rng.random() < 0.5:
+            crashes[pid] = CrashSpec(pid, initial_is_stable=True)
+        else:
+            crashes[pid] = CrashSpec(
+                pid,
+                at_time=rng.uniform(0.0, last_time),
+                initial_is_stable=True,
+            )
+    return crashes
+
+
+@pytest.mark.tier2
+class TestThreeWayRecoveryLine:
+    @pytest.mark.parametrize("case", range(PATTERN_CASES))
+    def test_fixpoint_vs_rgraph_on_random_patterns(self, case):
+        rng = random.Random(5000 + case)
+        n = rng.randrange(2, 7)
+        history = random_pattern(n=n, steps=rng.randrange(20, 90), rng=rng)
+        crashes = random_crash_map(history, rng)
+        fix = recovery_line(history, crashes)
+        assert recovery_line_rgraph(history, crashes) == fix.cut
+
+    @pytest.mark.parametrize("protocol", ["bhmr", "fdas", "cbr", "independent"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_online_manager_vs_fixpoint_on_simulated_runs(self, protocol, seed):
+        sim = Simulation(
+            RandomUniformWorkload(send_rate=1.5),
+            SimulationConfig(n=4, duration=30.0, seed=seed, basic_rate=0.3),
+        )
+        history = sim.run(protocol).history
+        manager = RecoveryManager.from_history(history)
+        for r in range(1, 5):
+            for crashed in itertools.combinations(range(4), r):
+                fix = recovery_line(
+                    history, {p: CrashSpec(p) for p in crashed}
+                )
+                online = manager.online_recovery_line(list(crashed))
+                assert online == fix.cut, (protocol, seed, crashed)
+                assert (
+                    recovery_line_rgraph(
+                        history, {p: CrashSpec(p) for p in crashed}
+                    )
+                    == fix.cut
+                ), (protocol, seed, crashed)
+
+
+@pytest.mark.tier2
+class TestEngineConvergenceSweep:
+    """Crash-injected runs converge to the crash-free history for every
+    registered protocol over several seeds (the engine's own online ==
+    offline cross-check stays enabled throughout)."""
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", ENGINE_SEEDS)
+    def test_converges_for_every_protocol(self, protocol, seed):
+        def make_sim():
+            return Simulation(
+                RandomUniformWorkload(send_rate=2.0),
+                SimulationConfig(n=3, duration=30.0, seed=seed, basic_rate=0.35),
+            )
+
+        schedule = CrashSchedule.random(3, 30.0, count=2, seed=seed + 100)
+        crashed = make_sim().run_with_crashes(protocol, schedule)
+        clean = make_sim().run(protocol)
+        n = clean.history.num_processes
+        assert [crashed.history.events(p) for p in range(n)] == [
+            clean.history.events(p) for p in range(n)
+        ]
+        assert dict(crashed.history.messages) == dict(clean.history.messages)

@@ -80,3 +80,17 @@ def test_runner_matches_golden(workers, tmp_path):
                     name,
                     agg.protocol,
                 )
+
+
+def test_recovery_events_match_golden():
+    """The pinned crash-injected run's ``recovery.*`` event stream is
+    byte-exact per protocol: any drift in crash handling, recovery-line
+    computation, rollback depth or replay counts shows up here."""
+    from tests.golden.scenarios import RECOVERY_PROTOCOLS, recovery_trace_lines
+
+    golden = load_golden("recovery_events")
+    assert set(golden["protocols"]) == set(RECOVERY_PROTOCOLS)
+    for protocol in RECOVERY_PROTOCOLS:
+        assert recovery_trace_lines(protocol) == golden["protocols"][protocol], (
+            protocol
+        )

@@ -288,3 +288,52 @@ def test_corollary_45_on_arbitrary_traces(inputs):
             assert min_consistent_gcp(result.history, [cid]) == result.family[
                 pid
             ].min_gcp_of(cid.index)
+
+
+# ----------------------------------------------------------------------
+# sender-log GC safety
+# ----------------------------------------------------------------------
+@given(pattern_inputs, st.floats(0.05, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_gc_never_drops_a_message_a_later_line_needs(inputs, frac):
+    """The headline GC-safety property behind the both-sides rule.
+
+    For a floor computed at *any* earlier instant, no message the safe
+    rule reclaims can appear in the replay plan of *any* later crash's
+    recovery line: later lines never fall below the floor, and a
+    reclaimed message sits at or below it on both endpoints.
+    """
+    import itertools
+
+    from repro.recovery import (
+        CrashSpec,
+        build_sender_logs,
+        global_recovery_floor,
+        recovery_line,
+        replay_plan,
+    )
+
+    n, ops = inputs
+    history = build_pattern(n, ops)
+    last_time = max(ev.time for ev in history.all_events())
+    at_time = last_time * frac
+    floor = global_recovery_floor(history, at_time=at_time)
+
+    logs = build_sender_logs(history)
+    dropped = set()
+    for pid, log in logs.items():
+        before = set(log._messages)
+        log.collect_garbage(history, floor.cut)
+        dropped |= before - set(log._messages)
+
+    for r in range(1, n + 1):
+        for crashed in itertools.combinations(range(n), r):
+            line = recovery_line(history, {p: CrashSpec(p) for p in crashed})
+            # Later lines never cross the earlier floor ...
+            assert all(line.cut[p] >= floor.cut[p] for p in range(n))
+            needed = {m.msg_id for m in replay_plan(history, line.cut).messages()}
+            # ... so nothing GC reclaimed is ever needed again, and every
+            # needed message is still servable from its sender's log.
+            assert not needed & dropped
+            for m in replay_plan(history, line.cut).messages():
+                assert logs[m.src].lookup(m.msg_id).msg_id == m.msg_id

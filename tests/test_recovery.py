@@ -156,10 +156,23 @@ class TestSenderLogs:
     def test_garbage_collection(self):
         h = figure1_pattern()
         logs = build_sender_logs(h)
-        dropped = logs[0].collect_garbage(h, safe_interval=1)
-        # P0 sent m1 in I(i,1): collectable; m5 in I(i,3): kept.
+        floor = {0: 1, 1: 1, 2: 1}
+        dropped = logs[0].collect_garbage(h, floor)
+        # P0 sent m1 in I(i,1), delivered in I(j,1): both at/below the
+        # floor, collectable; m5 in I(i,3): sent above it, kept.
         assert dropped == 1
         assert len(logs[0]) == 1
+
+    def test_garbage_collection_keeps_crossing_message(self):
+        # m2 is sent by P1 in I(j,1) (at the floor) but delivered by P0
+        # in I(i,2) (above it): it crosses the floor and is exactly the
+        # message a rollback to the floor must replay -- the sender-side
+        # rule alone would wrongly reclaim it.
+        h = figure1_pattern()
+        logs = build_sender_logs(h)
+        floor = {0: 1, 1: 1, 2: 1}
+        logs[1].collect_garbage(h, floor)
+        assert logs[1].lookup(h.figure_names["m2"]).msg_id == h.figure_names["m2"]
 
     def test_lookup_roundtrip(self):
         h = figure1_pattern()

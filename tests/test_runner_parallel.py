@@ -11,6 +11,10 @@ Two guarantees, checked over hypothesis-drawn sweep shapes:
 Plus direct unit tests of the cache, cell keys and seed derivation.
 """
 
+import multiprocessing
+import os
+import time
+
 import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -203,3 +207,104 @@ class TestRunnerUnits:
         assert ("ab" + "0" * 62) in cache
         assert len(cache) == 1
         assert cache.get_bytes("ff" + "0" * 62) is None
+
+
+def crashing_in_worker_scenario(rate):
+    """Kills its host process -- but only when that host is a pool worker."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(17)
+    return scenario_at_rate(rate)
+
+
+def hanging_in_worker_scenario(rate):
+    """Wedges forever in a worker; runs normally in the parent."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(600)
+    return scenario_at_rate(rate)
+
+
+def raising_scenario(rate):
+    raise ValueError("deterministic cell failure")
+
+
+class TestWorkerRobustness:
+    def test_crashed_worker_retried_then_run_in_parent(self):
+        sweep = run_sweep(
+            "basic_rate",
+            [0.2],
+            crashing_in_worker_scenario,
+            PROTOCOLS,
+            seeds=(0,),
+            workers=2,
+            cache=False,
+            max_worker_attempts=2,
+        )
+        # Every pool round lost the cell: one retry count per failed round.
+        assert sweep.stats.retries == 2
+        assert "in-process" in sweep.stats.note
+        serial = ratio_sweep(
+            "basic_rate", [0.2], scenario_at_rate, PROTOCOLS, seeds=(0,)
+        )
+        assert sweep.ratio_series() == serial.ratio_series()
+
+    def test_hung_worker_times_out_then_run_in_parent(self):
+        sweep = run_sweep(
+            "basic_rate",
+            [0.2],
+            hanging_in_worker_scenario,
+            PROTOCOLS,
+            seeds=(0,),
+            workers=2,
+            cache=False,
+            cell_timeout=0.5,
+            max_worker_attempts=2,
+        )
+        assert sweep.stats.retries == 2
+        assert "in-process" in sweep.stats.note
+        serial = ratio_sweep(
+            "basic_rate", [0.2], scenario_at_rate, PROTOCOLS, seeds=(0,)
+        )
+        assert sweep.ratio_series() == serial.ratio_series()
+
+    def test_healthy_sweep_records_zero_retries(self):
+        sweep = run_sweep(
+            "basic_rate",
+            [0.2],
+            scenario_at_rate,
+            PROTOCOLS,
+            seeds=(0,),
+            workers=2,
+            cache=False,
+        )
+        assert sweep.stats.retries == 0
+
+    def test_deterministic_cell_exception_propagates(self):
+        with pytest.raises(ValueError, match="deterministic cell failure"):
+            run_sweep(
+                "basic_rate",
+                [0.2],
+                raising_scenario,
+                PROTOCOLS,
+                seeds=(0,),
+                workers=2,
+                cache=False,
+            )
+
+    def test_stats_round_trip_includes_retries(self):
+        sweep = run_sweep(
+            "basic_rate",
+            [0.2],
+            crashing_in_worker_scenario,
+            PROTOCOLS,
+            seeds=(0,),
+            workers=2,
+            cache=False,
+            max_worker_attempts=2,
+        )
+        doc = sweep.stats.to_dict()
+        assert doc["retries"] == 2
+        from repro.harness.runner import RunnerStats
+
+        clone = RunnerStats.from_dict(doc)
+        assert clone.retries == sweep.stats.retries
+        assert clone.note == sweep.stats.note
