@@ -47,10 +47,14 @@ from repro.obs.profile import Profiler
 from repro.obs.tracer import Tracer
 from repro.sim import (
     CrashSchedule,
+    LinkFaults,
+    NetFaultModel,
+    Partition,
     RecoveryReplayResult,
     ReplayResult,
     Simulation,
     SimulationConfig,
+    TransportConfig,
 )
 from repro.types import SimulationError
 from repro.workloads import WORKLOADS
@@ -59,8 +63,11 @@ from repro.workloads.base import Workload
 __all__ = [
     "ComparisonResult",
     "CrashSchedule",
+    "LinkFaults",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NetFaultModel",
+    "Partition",
     "Profiler",
     "RDTReport",
     "RecoveryReplayResult",
@@ -70,6 +77,7 @@ __all__ = [
     "SimulationConfig",
     "SweepResult",
     "Tracer",
+    "TransportConfig",
     "analyze_rdt",
     "compare",
     "find_z_cycles",
@@ -133,13 +141,18 @@ def _resolve_config(
     duration: Optional[float],
     seed: Optional[int],
     basic_rate: Optional[float],
+    net_faults: Optional[NetFaultModel] = None,
+    transport: Optional[TransportConfig] = None,
 ) -> SimulationConfig:
     """An explicit config wins; otherwise the common knobs fill defaults."""
     if config is not None:
-        if any(v is not None for v in (n, duration, seed, basic_rate)):
+        if any(
+            v is not None
+            for v in (n, duration, seed, basic_rate, net_faults, transport)
+        ):
             raise SimulationError(
-                "pass either config= or the n/duration/seed/basic_rate "
-                "knobs, not both"
+                "pass either config= or the n/duration/seed/basic_rate/"
+                "net_faults/transport knobs, not both"
             )
         return config
     kwargs: Dict[str, object] = {}
@@ -151,6 +164,10 @@ def _resolve_config(
         kwargs["seed"] = seed
     if basic_rate is not None:
         kwargs["basic_rate"] = basic_rate
+    if net_faults is not None:
+        kwargs["net_faults"] = net_faults
+    if transport is not None:
+        kwargs["transport"] = transport
     return SimulationConfig(**kwargs)  # type: ignore[arg-type]
 
 
@@ -196,15 +213,23 @@ def run(
     duration: Optional[float] = None,
     seed: Optional[int] = None,
     basic_rate: Optional[float] = None,
+    net_faults: Optional[NetFaultModel] = None,
+    transport: Optional[TransportConfig] = None,
     close: bool = True,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     profiler: Optional[Profiler] = None,
 ) -> ReplayResult:
-    """Simulate one workload under one protocol; return the replay."""
+    """Simulate one workload under one protocol; return the replay.
+
+    ``net_faults`` runs the scenario over an unreliable physical network
+    (loss/duplication/reordering/partitions per the model) with the
+    reliable transport recovering exactly-once delivery; the returned
+    history still satisfies the paper's channel model.
+    """
     sim = Simulation(
         _workload_factory(workload, workload_args)(),
-        _resolve_config(config, n, duration, seed, basic_rate),
+        _resolve_config(config, n, duration, seed, basic_rate, net_faults, transport),
         tracer=tracer,
         metrics=metrics,
         profiler=profiler,
@@ -334,6 +359,8 @@ def recover(
     duration: Optional[float] = None,
     seed: Optional[int] = None,
     basic_rate: Optional[float] = None,
+    net_faults: Optional[NetFaultModel] = None,
+    transport: Optional[TransportConfig] = None,
     close: bool = True,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -351,7 +378,9 @@ def recover(
     history.  ``gc_every_ops`` additionally runs the safe online
     sender-log garbage collector at that op cadence.
     """
-    resolved = _resolve_config(config, n, duration, seed, basic_rate)
+    resolved = _resolve_config(
+        config, n, duration, seed, basic_rate, net_faults, transport
+    )
     if isinstance(crashes, int):
         schedule = CrashSchedule.random(
             resolved.n, resolved.duration, count=crashes, seed=crash_seed

@@ -97,6 +97,44 @@ def _config(args, seed: Optional[int] = None) -> SimulationConfig:
         duration=args.duration,
         seed=args.seed if seed is None else seed,
         basic_rate=args.basic_rate,
+        net_faults=_net_model(args),
+    )
+
+
+def _parse_partition(text: str) -> "Partition":
+    """``A:B:START[:END]`` -> a symmetric partition window (END=forever)."""
+    from repro.sim import FOREVER, Partition
+
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise SystemExit(
+            f"bad --partition {text!r}; expected A:B:START[:END]"
+        )
+    try:
+        a, b = int(parts[0]), int(parts[1])
+        start = float(parts[2])
+        end = float(parts[3]) if len(parts) == 4 else FOREVER
+        return Partition(a, b, start, end)
+    except ValueError:
+        raise SystemExit(f"bad --partition {text!r}; expected A:B:START[:END]")
+
+
+def _net_model(args):
+    """The ``NetFaultModel`` described by the network-fault flags (or None)."""
+    from repro.sim import NetFaultModel
+
+    loss = getattr(args, "loss", 0.0)
+    dup = getattr(args, "dup", 0.0)
+    reorder = getattr(args, "reorder", 0.0)
+    partition = getattr(args, "partition", None) or []
+    if not (loss or dup or reorder or partition):
+        return None
+    return NetFaultModel.uniform(
+        loss=loss,
+        duplicate=dup,
+        reorder=reorder,
+        partitions=[_parse_partition(p) for p in partition],
+        seed=getattr(args, "net_seed", 0),
     )
 
 
@@ -112,6 +150,43 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=60.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--basic-rate", type=float, default=0.2)
+
+
+def _add_net_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="physical message-loss probability per transmission attempt",
+    )
+    parser.add_argument(
+        "--dup",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="physical duplication probability per transmission",
+    )
+    parser.add_argument(
+        "--reorder",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a copy is held back by an extra reordering delay",
+    )
+    parser.add_argument(
+        "--partition",
+        action="append",
+        metavar="A:B:START[:END]",
+        help="cut the A<->B link during [START, END) (repeatable; no END "
+        "means forever -- the watchdog degrades the link)",
+    )
+    parser.add_argument(
+        "--net-seed",
+        type=int,
+        default=0,
+        help="seed of the network-fault RNG stream",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -200,9 +275,11 @@ class _Obs:
 # ----------------------------------------------------------------------
 def cmd_run(args) -> int:
     obs = _Obs(args)
+    net = _net_model(args)
     result = api.run(
         protocol=args.protocol,
         seed=args.seed,
+        net_faults=net,
         **_workload_spec(args),
         **obs.kwargs(),
     )
@@ -213,6 +290,8 @@ def cmd_run(args) -> int:
         "seed": args.seed,
         "run": dataclasses.asdict(result.metrics),
     }
+    if net is not None:
+        doc["net_faults"] = repr(net)
     if not obs.json:
         print(render_table([result.metrics.as_row()], title=f"run: {args.protocol}"))
     if args.save:
@@ -363,6 +442,7 @@ def _cmd_recover_online(args) -> int:
         crashes=schedule,
         seed=args.seed,
         gc_every_ops=args.gc_every,
+        net_faults=_net_model(args),
         **_workload_spec(args),
         **obs.kwargs(),
     )
@@ -454,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="one workload under one protocol")
     _add_scenario_args(p)
+    _add_net_args(p)
     _add_obs_args(p)
     p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
     p.add_argument("--check-rdt", action="store_true")
@@ -515,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("recover", help="crash injection + online recovery")
     _add_scenario_args(p)
+    _add_net_args(p)
     _add_obs_args(p)
     p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
     p.add_argument("--crash-pid", type=int, default=0)

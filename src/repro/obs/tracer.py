@@ -47,6 +47,12 @@ KINDS = (
     "recovery.crash",   # injected failure struck (crashed pids)
     "recovery.line",    # online recovery line computed at a crash
     "recovery.replay",  # rollback done: re-execution + log replay stats
+    "net.drop",         # physical copy (or ack) lost / cut by a partition
+    "net.dup",          # physical layer duplicated a transmission
+    "net.retransmit",   # transport retried an unacked message
+    "net.deliver",      # transport handed a message to the protocol layer
+    "net.ack",          # sender received the delivery ack
+    "net.degraded",     # watchdog gave up on a message; link degraded
 )
 
 

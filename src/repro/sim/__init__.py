@@ -10,11 +10,14 @@ from repro.sim.delays import Constant, DelayModel, Exponential, LogNormal, Unifo
 from repro.sim.faults import CrashSchedule, InjectedCrash
 from repro.sim.generate import TraceGenerator, generate_trace
 from repro.sim.kernel import Scheduler
+from repro.sim.netfaults import FOREVER, LinkFaults, NetFaultModel, Partition
 from repro.sim.replay import ReplayResult, replay, replay_many
 from repro.sim.simulation import Simulation, SimulationConfig, run_scenario
 from repro.sim.trace import Trace, TraceOp, TraceOpKind
+from repro.sim.transport import NetReport, ReliableTransport, TransportConfig
 
 __all__ = [
+    "FOREVER",
     "ChannelMap",
     "Constant",
     "CrashRecord",
@@ -22,8 +25,13 @@ __all__ = [
     "DelayModel",
     "Exponential",
     "InjectedCrash",
+    "LinkFaults",
     "LogNormal",
+    "NetFaultModel",
+    "NetReport",
+    "Partition",
     "RecoveryReplayResult",
+    "ReliableTransport",
     "ReplayResult",
     "Scheduler",
     "Simulation",
@@ -32,6 +40,7 @@ __all__ = [
     "TraceGenerator",
     "TraceOp",
     "TraceOpKind",
+    "TransportConfig",
     "Uniform",
     "generate_trace",
     "replay",

@@ -32,6 +32,18 @@ class ChannelMap:
         self.fifo = fifo
         self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
 
+    def reset(self) -> None:
+        """Forget per-run state (the FIFO arrival floors).
+
+        A ``ChannelMap`` is a *model* and may be shared across runs, but
+        the FIFO floors are *run* state: without a reset, a reused map
+        would hand a second simulation the first run's arrival floors
+        and skew every early delivery.  :class:`repro.sim.generate.
+        TraceGenerator` calls this at the start of every generation, so
+        per-run isolation holds no matter how the map is shared.
+        """
+        self._last_arrival.clear()
+
     def arrival_time(
         self, src: ProcessId, dst: ProcessId, send_time: float, rng: random.Random
     ) -> float:

@@ -13,6 +13,8 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.types import SimulationError
+
 _MIN_DELAY = 1e-9
 
 
@@ -46,9 +48,18 @@ class Uniform(DelayModel):
 
 @dataclass(frozen=True)
 class Exponential(DelayModel):
-    """Exponential with the given mean (not rate)."""
+    """Exponential with the given mean (not rate).
+
+    A non-positive mean is rejected at construction: silently clamping
+    it would turn ``1/mean`` into a division by zero or a negative rate
+    (NaN/negative draws) deep inside a run.
+    """
 
     mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.mean > 0:
+            raise SimulationError(f"Exponential mean must be > 0: {self.mean}")
 
     def sample(self, rng: random.Random) -> float:
         return self._clamp(rng.expovariate(1.0 / self.mean))

@@ -13,7 +13,9 @@ from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING
 
 from repro.sim.channel import ChannelMap
 from repro.sim.kernel import Scheduler
+from repro.sim.netfaults import NetFaultModel
 from repro.sim.trace import Trace, TraceOp, TraceOpKind
+from repro.sim.transport import NetReport, ReliableTransport, TransportConfig
 from repro.types import MessageId, ProcessId, SimulationError
 from repro.workloads.base import Workload, WorkloadContext
 
@@ -78,6 +80,19 @@ class TraceGenerator:
         Delay/FIFO behaviour; defaults to non-FIFO exponential(1).
     max_events:
         Safety valve for runaway workloads.
+    net_faults:
+        Optional :class:`repro.sim.netfaults.NetFaultModel`.  When set,
+        physical transmissions are lossy/duplicating/reordering/
+        partitionable and a :class:`repro.sim.transport.
+        ReliableTransport` recovers exactly-once delivery on top, so the
+        recorded trace still satisfies the reliable-channel model --
+        only delivery *times* (and possibly which sends happen, since
+        the workload reacts to deliveries) change.  The transport's
+        randomness draws from its own stream mixed from ``(seed,
+        net_faults.seed)``, keeping runs byte-deterministic.
+    transport:
+        Retransmission policy when ``net_faults`` is set (default
+        :class:`~repro.sim.transport.TransportConfig`).
     """
 
     def __init__(
@@ -91,6 +106,8 @@ class TraceGenerator:
         max_events: int = 1_000_000,
         tracer: Optional["Tracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        net_faults: Optional[NetFaultModel] = None,
+        transport: Optional[TransportConfig] = None,
     ) -> None:
         if n <= 0:
             raise SimulationError("need at least one process")
@@ -109,6 +126,23 @@ class TraceGenerator:
         self.stopped = False
         self._next_msg = 0
         self._ctx = _GeneratorContext(self)
+        self.transport: Optional[ReliableTransport] = None
+        self.net_report: Optional[NetReport] = None
+        if net_faults is not None:
+            self.transport = ReliableTransport(
+                scheduler=self.scheduler,
+                channels=self.channels,
+                model=net_faults,
+                config=transport if transport is not None else TransportConfig(),
+                deliver=self._arrive,
+                rng=net_faults.rng_for(seed),
+                tracer=tracer,
+                metrics=metrics,
+            )
+        elif transport is not None:
+            raise SimulationError(
+                "a transport config only applies with net_faults set"
+            )
 
     # ------------------------------------------------------------------
     # recording callbacks
@@ -132,10 +166,13 @@ class TraceGenerator:
         if self.metrics is not None:
             self.metrics.inc("generate.sends")
         self.payloads[msg_id] = payload
-        arrival = self.channels.arrival_time(src, dst, now, self.rng)
-        self.scheduler.schedule_at(
-            arrival, lambda: self._arrive(msg_id, src, dst)
-        )
+        if self.transport is not None:
+            self.transport.send(msg_id, src, dst)
+        else:
+            arrival = self.channels.arrival_time(src, dst, now, self.rng)
+            self.scheduler.schedule_at(
+                arrival, lambda: self._arrive(msg_id, src, dst)
+            )
         return msg_id
 
     def _arrive(self, msg_id: MessageId, src: ProcessId, dst: ProcessId) -> None:
@@ -174,13 +211,18 @@ class TraceGenerator:
     # ------------------------------------------------------------------
     def generate(self) -> Trace:
         """Run the workload and return the recorded trace."""
+        self.channels.reset()  # per-run isolation for shared channel maps
         if self.basic_rate > 0:
             for pid in range(self.n):
                 self._schedule_basic(pid)
         self.workload.on_start(self._ctx)
         # Run past the horizon so in-flight messages land; timers and
-        # checkpoints self-censor beyond the horizon.
+        # checkpoints self-censor beyond the horizon.  The transport's
+        # retransmission watchdog bounds its events, so the queue drains
+        # even under 100% loss or a permanent partition.
         self.scheduler.run(max_events=self.max_events)
+        if self.transport is not None:
+            self.net_report = self.transport.finalize()
         return Trace(self.n, [op for op in self.ops if op.msg_id != -1])
 
 
@@ -191,6 +233,8 @@ def generate_trace(
     seed: int = 0,
     basic_rate: float = 0.1,
     channels: Optional[ChannelMap] = None,
+    net_faults: Optional[NetFaultModel] = None,
+    transport: Optional[TransportConfig] = None,
 ) -> Trace:
     """One-call convenience wrapper around :class:`TraceGenerator`."""
     return TraceGenerator(
@@ -200,4 +244,6 @@ def generate_trace(
         seed=seed,
         basic_rate=basic_rate,
         channels=channels,
+        net_faults=net_faults,
+        transport=transport,
     ).generate()

@@ -1,0 +1,240 @@
+"""Network fault models: the unreliable physical layer under the channels.
+
+The paper's system model (section 2.1) assumes asynchronous *reliable*
+channels with finite delays, and every CIC protocol in :mod:`repro.core`
+piggybacks its control state on application messages under that
+assumption.  Real networks lose, duplicate, reorder and partition.  This
+module describes those physical faults as plain seeded data -- the exact
+analogue of :class:`repro.sim.faults.CrashSchedule` for the network
+axis -- and :mod:`repro.sim.transport` rebuilds the paper's reliable
+abstraction on top of them.
+
+A :class:`NetFaultModel` is a pure value: per-link fault rates
+(:class:`LinkFaults`), a set of :class:`Partition` windows, and a seed.
+Every probabilistic decision during a run is drawn from one
+``random.Random`` derived from ``(scenario seed, model seed)``, so a
+faulty run is a pure function of its seeds and two equal-seeded runs are
+byte-identical -- traces, ``net.*`` events and all.
+
+Models are built three ways:
+
+* :meth:`NetFaultModel.uniform` -- one rate triple for every link (the
+  CLI's ``--loss/--dup/--reorder`` flags);
+* the constructor -- explicit per-link overrides and partition windows;
+* :meth:`NetFaultModel.random` -- a seeded chaotic draw (per-link rates
+  plus transient partitions), for chaos sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.types import ProcessId, SimulationError
+
+#: Sentinel for a partition that never heals.
+FOREVER = math.inf
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates of one directed link (all probabilities in [0, 1]).
+
+    ``loss`` applies to each physical transmission attempt;
+    ``duplicate`` makes an attempt arrive twice; ``reorder`` holds one
+    arriving copy back by an extra exponential delay of mean
+    ``reorder_delay`` (amplifying the channels' natural reordering).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(f"{name} rate must be in [0, 1]: {p}")
+        if self.reorder_delay <= 0:
+            raise SimulationError(
+                f"reorder_delay must be positive: {self.reorder_delay}"
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self.loss or self.duplicate or self.reorder)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One link-partition window: ``a``/``b`` cannot talk in [start, end).
+
+    ``end=FOREVER`` is a permanent cut (the watchdog case).  Symmetric by
+    default -- both directions are cut -- matching a failed physical
+    link; ``symmetric=False`` cuts only ``a -> b``.
+    """
+
+    a: ProcessId
+    b: ProcessId
+    start: float
+    end: float = FOREVER
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise SimulationError(
+                f"bad partition window [{self.start}, {self.end})"
+            )
+
+    def cuts(self, src: ProcessId, dst: ProcessId, time: float) -> bool:
+        """Is the directed link ``src -> dst`` cut at ``time``?"""
+        if not self.start <= time < self.end:
+            return False
+        if src == self.a and dst == self.b:
+            return True
+        return self.symmetric and src == self.b and dst == self.a
+
+    @property
+    def permanent(self) -> bool:
+        return self.end == FOREVER
+
+    def __repr__(self) -> str:
+        end = "forever" if self.permanent else f"{self.end:g}"
+        arrow = "<->" if self.symmetric else "->"
+        return f"<partition P{self.a}{arrow}P{self.b} [{self.start:g}, {end})>"
+
+
+@dataclass(frozen=True)
+class NetFaultModel:
+    """The physical network of one run: fault rates, partitions, seed.
+
+    ``default`` applies to every directed link; ``overrides`` (keyed by
+    ``(src, dst)``) replace it per link.  ``seed`` feeds the model's own
+    RNG stream -- independent of the scenario seed, so the same fault
+    pattern composes with any workload or protocol, exactly like
+    ``CrashSchedule``.  The dataclass repr is stable, which is what lets
+    the sweep result cache key on configs that carry a model.
+    """
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    overrides: Tuple[Tuple[Tuple[ProcessId, ProcessId], LinkFaults], ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalise overrides to a sorted tuple so equal models share a
+        # repr (and hence a cache key) regardless of construction order.
+        object.__setattr__(
+            self, "overrides", tuple(sorted(dict(self.overrides).items()))
+        )
+        object.__setattr__(
+            self,
+            "partitions",
+            tuple(sorted(self.partitions, key=lambda p: (p.start, p.a, p.b))),
+        )
+        object.__setattr__(self, "_by_link", dict(self.overrides))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        partitions: Sequence[Partition] = (),
+        seed: int = 0,
+    ) -> "NetFaultModel":
+        """One fault-rate triple for every link (the CLI's model)."""
+        return cls(
+            default=LinkFaults(loss=loss, duplicate=duplicate, reorder=reorder),
+            partitions=tuple(partitions),
+            seed=seed,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        duration: float,
+        seed: int = 0,
+        max_loss: float = 0.3,
+        max_duplicate: float = 0.2,
+        max_reorder: float = 0.3,
+        partition_count: int = 1,
+        partition_span: Tuple[float, float] = (0.05, 0.25),
+    ) -> "NetFaultModel":
+        """A seeded chaotic network: per-link rates plus transient cuts.
+
+        Each directed link draws its rates uniformly in ``[0, max_*]``;
+        ``partition_count`` symmetric windows land at seeded-uniform
+        start times with lengths drawn as a fraction of ``duration`` in
+        ``partition_span``.  A pure function of the arguments, so chaos
+        sweeps are reproducible cell by cell.
+        """
+        if n <= 1:
+            raise SimulationError("need at least two processes for a network")
+        if partition_count < 0:
+            raise SimulationError("partition_count must be >= 0")
+        rng = random.Random(seed)
+        overrides = []
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                overrides.append(
+                    (
+                        (src, dst),
+                        LinkFaults(
+                            loss=rng.uniform(0.0, max_loss),
+                            duplicate=rng.uniform(0.0, max_duplicate),
+                            reorder=rng.uniform(0.0, max_reorder),
+                        ),
+                    )
+                )
+        partitions = []
+        lo, hi = partition_span
+        for _ in range(partition_count):
+            a = rng.randrange(n)
+            b = (a + 1 + rng.randrange(n - 1)) % n
+            start = rng.uniform(0.0, duration * 0.8)
+            length = duration * rng.uniform(lo, hi)
+            partitions.append(Partition(a, b, start, start + length))
+        return cls(overrides=tuple(overrides), partitions=tuple(partitions), seed=seed)
+
+    # ------------------------------------------------------------------
+    # queries (the transport's decision inputs)
+    # ------------------------------------------------------------------
+    def link(self, src: ProcessId, dst: ProcessId) -> LinkFaults:
+        """The fault rates of the directed link ``src -> dst``."""
+        return self._by_link.get((src, dst), self.default)  # type: ignore[attr-defined]
+
+    def is_cut(self, src: ProcessId, dst: ProcessId, time: float) -> bool:
+        """Is ``src -> dst`` inside any partition window at ``time``?"""
+        return any(p.cuts(src, dst, time) for p in self.partitions)
+
+    def cut_forever(self, src: ProcessId, dst: ProcessId, after: float) -> bool:
+        """Will ``src -> dst`` stay cut from ``after`` on (never heal)?"""
+        return any(
+            p.permanent and p.cuts(src, dst, after) for p in self.partitions
+        )
+
+    def rng_for(self, scenario_seed: int) -> random.Random:
+        """The model's RNG stream for one scenario.
+
+        Mixing both seeds through a string seed (deterministically
+        hashed by ``random.Random``) keeps fault decisions independent
+        of the scenario's own draw sequence while still varying across
+        scenario seeds.
+        """
+        return random.Random(f"netfaults:{scenario_seed}:{self.seed}")
+
+    def __bool__(self) -> bool:
+        return (
+            bool(self.default)
+            or any(bool(f) for _, f in self.overrides)
+            or bool(self.partitions)
+        )

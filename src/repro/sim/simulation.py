@@ -9,6 +9,7 @@ examples, the benchmarks and most tests use.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -17,6 +18,8 @@ from repro.obs.profile import NULL_PROFILER
 from repro.sim.channel import ChannelMap
 from repro.sim.delays import DelayModel, Exponential
 from repro.sim.generate import TraceGenerator
+from repro.sim.netfaults import NetFaultModel
+from repro.sim.transport import NetReport, TransportConfig
 from repro.sim.replay import ReplayResult, replay
 from repro.sim.trace import Trace
 from repro.types import SimulationError
@@ -49,8 +52,18 @@ class SimulationConfig:
         Channel delay distribution.
     fifo:
         Whether channels preserve order (CIC protocols do not need it).
+        Under ``net_faults`` this turns on the transport's per-link FIFO
+        *reconstruction* instead (same observable guarantee).
     max_events:
         Kernel safety valve.
+    net_faults:
+        Optional :class:`~repro.sim.netfaults.NetFaultModel`: run the
+        scenario over an unreliable physical network, with the reliable
+        transport (:mod:`repro.sim.transport`) recovering the paper's
+        channel abstraction.  ``None`` (the default) is the ideal
+        reliable network.
+    transport:
+        Retransmission policy when ``net_faults`` is set.
     """
 
     n: int = 4
@@ -60,6 +73,8 @@ class SimulationConfig:
     delay: DelayModel = field(default_factory=lambda: Exponential(mean=1.0))
     fifo: bool = False
     max_events: int = 1_000_000
+    net_faults: Optional[NetFaultModel] = None
+    transport: Optional[TransportConfig] = None
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -68,6 +83,8 @@ class SimulationConfig:
             raise SimulationError("duration must be positive")
         if self.basic_rate < 0:
             raise SimulationError("basic_rate must be non-negative")
+        if self.transport is not None and self.net_faults is None:
+            raise SimulationError("transport= only applies with net_faults=")
 
 
 class Simulation:
@@ -93,12 +110,22 @@ class Simulation:
         self.metrics = metrics
         self.profiler = profiler
         self._trace: Optional[Trace] = None
+        self._net_report: Optional[NetReport] = None
 
     @property
     def trace(self) -> Trace:
         """The protocol-independent trace (generated lazily, cached)."""
         if self._trace is None:
             cfg = self.config
+            transport = cfg.transport
+            if cfg.net_faults is not None and cfg.fifo:
+                # Physical copies cannot honour channel-level FIFO under
+                # loss/retransmission; the transport reconstructs the
+                # same observable ordering at the receiver instead.
+                transport = dataclasses.replace(
+                    transport if transport is not None else TransportConfig(),
+                    fifo=True,
+                )
             generator = TraceGenerator(
                 cfg.n,
                 self.workload,
@@ -109,10 +136,22 @@ class Simulation:
                 max_events=cfg.max_events,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                net_faults=cfg.net_faults,
+                transport=transport,
             )
             with (self.profiler or NULL_PROFILER).phase("generate"):
                 self._trace = generator.generate()
+            self._net_report = generator.net_report
         return self._trace
+
+    @property
+    def net_report(self) -> Optional[NetReport]:
+        """Physical-layer statistics of the generated trace.
+
+        ``None`` until the trace exists, and for reliable-network runs.
+        """
+        self.trace  # force generation
+        return self._net_report
 
     def run(self, protocol: str, close: bool = True) -> ReplayResult:
         """Replay the scenario under one protocol (registry name)."""

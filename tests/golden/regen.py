@@ -24,6 +24,9 @@ from tests.golden.scenarios import (  # noqa: E402
     RECOVERY_PROTOCOLS,
     RECOVERY_SCENARIO,
     SEEDS,
+    NET_FAULT_SCENARIO,
+    net_fault_model,
+    net_fault_trace_lines,
     recovery_trace_lines,
 )
 
@@ -66,6 +69,15 @@ def main() -> None:
         },
     }
     path = HERE / "recovery_events.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+    doc = {
+        "scenario": NET_FAULT_SCENARIO,
+        "model": repr(net_fault_model()),
+        "events": net_fault_trace_lines(),
+    }
+    path = HERE / "net_fault_events.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
 

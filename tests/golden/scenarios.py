@@ -65,3 +65,39 @@ def recovery_trace_lines(protocol):
     sim = Simulation(make_workload(), config, tracer=tracer)
     sim.run_with_crashes(protocol, CrashSchedule.at(*RECOVERY_CRASHES))
     return [ev.line() for ev in tracer if ev.kind.startswith("recovery.")]
+
+
+# ----------------------------------------------------------------------
+# network-fault golden: the ``net.*`` event stream of one pinned run
+# over a lossy/duplicating/reordering network with a transient
+# partition and retransmission (byte-exact, protocol-independent --
+# physical faults resolve during trace generation)
+# ----------------------------------------------------------------------
+NET_FAULT_SCENARIO = "random_n4"
+
+
+def net_fault_model():
+    from repro.sim import NetFaultModel, Partition
+
+    return NetFaultModel.uniform(
+        loss=0.25,
+        duplicate=0.15,
+        reorder=0.3,
+        partitions=(Partition(0, 2, start=6.0, end=14.0),),
+        seed=11,
+    )
+
+
+def net_fault_trace_lines():
+    """The serialized ``net.*`` events of the pinned faulty generation."""
+    import dataclasses
+
+    from repro.obs import Tracer
+    from repro.sim import Simulation
+
+    make_workload, config = GOLDEN_SCENARIOS[NET_FAULT_SCENARIO]
+    config = dataclasses.replace(config, net_faults=net_fault_model())
+    tracer = Tracer()
+    sim = Simulation(make_workload(), config, tracer=tracer)
+    sim.trace  # the physical layer lives in the generation phase
+    return [ev.line() for ev in tracer if ev.kind.startswith("net.")]

@@ -1,0 +1,156 @@
+"""Tier-2 differential suite: the reliable transport really does recover
+the paper's channel abstraction.
+
+Headline guarantee of the network-fault subsystem, checked over 100+
+randomized seeded ``(workload x protocol x fault-config)`` cells:
+
+(a) **Exactly-once.**  Every application message a faulty run sends is
+    delivered to the protocol layer exactly once -- unless the watchdog
+    abandoned it (permanently partitioned / hopeless link), in which
+    case it is delivered exactly zero times and flagged degraded.
+
+(b) **Analysis equivalence.**  The delivered pattern validates, and
+    replaying it over ideal reliable channels (the plain protocol fold)
+    yields a byte-identical history -- hence identical RDT, Z-cycle and
+    recovery-line verdicts.  Verdict equality is additionally asserted
+    directly, not only via history identity.
+
+(c) **Crash composition.**  Injecting crashes into a run whose pattern
+    crossed the faulty network still converges byte-identically to the
+    crash-free history of the same pattern -- both fault axes (PR 3's
+    crash engine, this PR's network) compose.
+
+Each cell draws its whole configuration from one seed, so a failure
+reproduces from the printed cell id alone.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import check_rdt, find_z_cycles, useless_checkpoints
+from repro.core import protocol_factory
+from repro.events.io import history_to_dict
+from repro.events.validate import validate_history
+from repro.obs.jsonio import canonical_dumps
+from repro.recovery import CrashSpec, recovery_line
+from repro.sim import (
+    CrashSchedule,
+    NetFaultModel,
+    Partition,
+    Simulation,
+    SimulationConfig,
+    TraceOpKind,
+    replay,
+)
+from repro.workloads import WORKLOADS
+
+CELLS = 108
+WORKLOAD_POOL = ("random", "ring", "client-server", "groups")
+PROTOCOL_POOL = ("bhmr", "fdas", "cbr", "independent", "bhmr-nosimple", "cas")
+
+
+def draw_cell(cell: int):
+    """The full (workload, protocol, scenario, fault model) of one cell,
+    drawn deterministically from the cell index."""
+    rng = random.Random(900_000 + cell)
+    workload_name = WORKLOAD_POOL[rng.randrange(len(WORKLOAD_POOL))]
+    protocol = PROTOCOL_POOL[rng.randrange(len(PROTOCOL_POOL))]
+    n = rng.randrange(3, 6)
+    duration = rng.uniform(12.0, 20.0)
+    style = rng.randrange(3)
+    if style == 0:  # uniform rates
+        model = NetFaultModel.uniform(
+            loss=rng.uniform(0.0, 0.4),
+            duplicate=rng.uniform(0.0, 0.3),
+            reorder=rng.uniform(0.0, 0.4),
+            seed=rng.randrange(1 << 16),
+        )
+    elif style == 1:  # chaotic per-link draw with a transient partition
+        model = NetFaultModel.random(
+            n,
+            duration,
+            seed=rng.randrange(1 << 16),
+            partition_count=rng.randrange(0, 2),
+        )
+    else:  # explicit partition windows, one possibly permanent
+        a = rng.randrange(n)
+        b = (a + 1 + rng.randrange(n - 1)) % n
+        start = rng.uniform(0.0, duration)
+        end = float("inf") if rng.random() < 0.3 else start + rng.uniform(2, 8)
+        model = NetFaultModel.uniform(
+            loss=rng.uniform(0.0, 0.2),
+            partitions=(Partition(a, b, start, end),),
+            seed=rng.randrange(1 << 16),
+        )
+    config = SimulationConfig(
+        n=n,
+        duration=duration,
+        seed=rng.randrange(1 << 16),
+        basic_rate=rng.uniform(0.05, 0.3),
+        net_faults=model,
+    )
+    return workload_name, protocol, config
+
+
+def canonical_history(history) -> str:
+    return canonical_dumps(history_to_dict(history))
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("cell", range(CELLS))
+def test_faulty_cell_differential(cell):
+    workload_name, protocol, config = draw_cell(cell)
+    sim = Simulation(WORKLOADS[workload_name](), config)
+    trace = sim.trace
+    report = sim.net_report
+    assert report is not None
+
+    # ------------------------------------------------------------------
+    # (a) exactly-once at the protocol layer
+    # ------------------------------------------------------------------
+    sent = [op.msg_id for op in trace if op.kind is TraceOpKind.SEND]
+    delivered = [op.msg_id for op in trace if op.kind is TraceOpKind.DELIVER]
+    assert len(set(delivered)) == len(delivered), (cell, "duplicate delivery")
+    assert set(delivered) <= set(sent), (cell, "delivery of unsent message")
+    missing = set(sent) - set(delivered)
+    # ...and zero times only when the watchdog explicitly gave up.
+    assert missing == set(report.undelivered), cell
+    assert missing <= set(report.degraded), cell
+    if report.degraded:
+        assert report.degraded_links, cell
+
+    # ------------------------------------------------------------------
+    # (b) the delivered pattern validates and replays identically over
+    #     ideal channels -- verdicts and all
+    # ------------------------------------------------------------------
+    faulty = sim.run(protocol)
+    validate_history(faulty.history)
+    reliable = replay(trace, protocol_factory(protocol))
+    assert canonical_history(faulty.history) == canonical_history(
+        reliable.history
+    ), (cell, "histories diverge")
+    rdt_a, rdt_b = check_rdt(faulty.history), check_rdt(reliable.history)
+    assert rdt_a.holds == rdt_b.holds, cell
+    assert rdt_a.violations == rdt_b.violations, cell
+    assert find_z_cycles(faulty.history) == find_z_cycles(reliable.history), cell
+    assert useless_checkpoints(faulty.history) == useless_checkpoints(
+        reliable.history
+    ), cell
+    mid = config.duration / 2
+    crash = {0: CrashSpec(0, at_time=mid)}
+    line_a = recovery_line(faulty.history, crash)
+    line_b = recovery_line(reliable.history, crash)
+    assert line_a.cut == line_b.cut, cell
+
+    # ------------------------------------------------------------------
+    # (c) crash injection composes: the crash-injected run over the
+    #     faulty network converges to the crash-free history
+    # ------------------------------------------------------------------
+    schedule = CrashSchedule.random(
+        config.n, config.duration, count=1, seed=700 + cell
+    )
+    recovered = sim.run_with_crashes(protocol, schedule, cross_check=True)
+    assert canonical_history(recovered.history) == canonical_history(
+        faulty.history
+    ), (cell, "crash+loss run diverged from the crash-free history")

@@ -94,3 +94,16 @@ def test_recovery_events_match_golden():
         assert recovery_trace_lines(protocol) == golden["protocols"][protocol], (
             protocol
         )
+
+
+def test_net_fault_events_match_golden():
+    """The pinned faulty-network run's ``net.*`` event stream is
+    byte-exact: drops, duplicate suppressions, retransmissions and
+    partition-window behaviour must all replay identically per seed."""
+    from tests.golden.scenarios import net_fault_model, net_fault_trace_lines
+
+    golden = load_golden("net_fault_events")
+    assert repr(net_fault_model()) == golden["model"]
+    lines = net_fault_trace_lines()
+    assert lines, "the pinned scenario must actually exercise the network"
+    assert lines == golden["events"]

@@ -1,0 +1,82 @@
+"""Tier-1 wiring of the determinism lint (``tools/lint_determinism.py``).
+
+The whole testbed's value rests on runs being pure functions of their
+seeds; this gate fails the fast suite the moment anyone under
+``src/repro`` reaches for the shared module-level RNG, an unseeded
+``random.Random()``, or the wall clock.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "lint_determinism", REPO_ROOT / "tools" / "lint_determinism.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def linter():
+    return _load_linter()
+
+
+def test_src_repro_is_deterministic(linter):
+    violations = linter.check_tree(SRC_ROOT)
+    assert not violations, "\n" + "\n".join(v.render() for v in violations)
+
+
+# ----------------------------------------------------------------------
+# the linter itself: each rule fires on a minimal sample, and the
+# sanctioned idioms stay clean
+# ----------------------------------------------------------------------
+def _codes(linter, source):
+    return [v.code for v in linter.check_source(Path("sample.py"), source)]
+
+
+def test_flags_module_level_random(linter):
+    assert _codes(linter, "import random\nx = random.random()\n") == [
+        "random.random"
+    ]
+    assert _codes(linter, "import random\nrandom.seed(1)\n") == ["random.seed"]
+    assert _codes(
+        linter, "import random\nv = random.choice([1, 2])\n"
+    ) == ["random.choice"]
+
+
+def test_flags_unseeded_random_instance(linter):
+    assert _codes(linter, "import random\nrng = random.Random()\n") == [
+        "random.Random()"
+    ]
+
+
+def test_flags_wall_clock(linter):
+    assert _codes(linter, "import time\nt = time.time()\n") == ["time.time"]
+    assert _codes(linter, "import time\nt = time.time_ns()\n") == [
+        "time.time_ns"
+    ]
+
+
+def test_allows_seeded_and_instance_idioms(linter):
+    clean = (
+        "import random\nimport time\n"
+        "rng = random.Random(42)\n"
+        "rng2 = random.Random(seed)\n"
+        "x = rng.random()\n"
+        "y = rng.expovariate(2.0)\n"
+        "t = time.perf_counter()\n"
+    )
+    assert _codes(linter, clean) == []
+
+
+def test_cli_entrypoint_passes_on_src(linter, capsys):
+    assert linter.main([str(SRC_ROOT)]) == 0
+    assert capsys.readouterr().out == ""

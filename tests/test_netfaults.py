@@ -1,0 +1,141 @@
+"""Unit tests for the network-fault model (``repro.sim.netfaults``).
+
+The model is plain seeded data -- these tests pin its validation, its
+partition-window geometry, the per-link override resolution, and the
+properties the rest of the stack relies on: stable reprs (the sweep
+cache keys on them) and seed-pure construction.
+"""
+
+import pytest
+
+from repro.sim import FOREVER, LinkFaults, NetFaultModel, Partition
+from repro.types import SimulationError
+
+
+# ----------------------------------------------------------------------
+# LinkFaults
+# ----------------------------------------------------------------------
+def test_link_faults_validation():
+    LinkFaults(loss=0.0, duplicate=1.0, reorder=0.5)  # bounds are legal
+    with pytest.raises(SimulationError):
+        LinkFaults(loss=-0.1)
+    with pytest.raises(SimulationError):
+        LinkFaults(duplicate=1.5)
+    with pytest.raises(SimulationError):
+        LinkFaults(reorder=2.0)
+    with pytest.raises(SimulationError):
+        LinkFaults(reorder_delay=0.0)
+
+
+def test_link_faults_truthiness():
+    assert not LinkFaults()
+    assert LinkFaults(loss=0.1)
+    assert LinkFaults(duplicate=0.1)
+    assert LinkFaults(reorder=0.1)
+
+
+# ----------------------------------------------------------------------
+# Partition
+# ----------------------------------------------------------------------
+def test_partition_window_geometry():
+    p = Partition(0, 1, start=5.0, end=10.0)
+    assert not p.cuts(0, 1, 4.999)
+    assert p.cuts(0, 1, 5.0)
+    assert p.cuts(0, 1, 9.999)
+    assert not p.cuts(0, 1, 10.0)  # half-open window
+    assert not p.permanent
+
+
+def test_partition_symmetry():
+    sym = Partition(0, 1, start=0.0)
+    assert sym.cuts(0, 1, 1.0) and sym.cuts(1, 0, 1.0)
+    assert not sym.cuts(0, 2, 1.0) and not sym.cuts(2, 1, 1.0)
+    directed = Partition(0, 1, start=0.0, symmetric=False)
+    assert directed.cuts(0, 1, 1.0)
+    assert not directed.cuts(1, 0, 1.0)
+
+
+def test_partition_permanent_and_validation():
+    assert Partition(0, 1, start=3.0).permanent
+    assert Partition(0, 1, start=3.0).end == FOREVER
+    with pytest.raises(SimulationError):
+        Partition(0, 1, start=-1.0)
+    with pytest.raises(SimulationError):
+        Partition(0, 1, start=5.0, end=4.0)
+
+
+# ----------------------------------------------------------------------
+# NetFaultModel
+# ----------------------------------------------------------------------
+def test_model_link_overrides():
+    model = NetFaultModel(
+        default=LinkFaults(loss=0.1),
+        overrides=(((0, 1), LinkFaults(loss=0.9)),),
+    )
+    assert model.link(0, 1).loss == 0.9
+    assert model.link(1, 0).loss == 0.1  # overrides are directed
+    assert model.link(2, 3).loss == 0.1
+
+
+def test_model_cut_queries():
+    model = NetFaultModel(
+        partitions=(
+            Partition(0, 1, start=5.0, end=10.0),
+            Partition(1, 2, start=20.0),
+        )
+    )
+    assert model.is_cut(0, 1, 7.0) and not model.is_cut(0, 1, 12.0)
+    assert model.is_cut(2, 1, 25.0)
+    assert not model.cut_forever(0, 1, 7.0)  # transient window
+    assert model.cut_forever(1, 2, 25.0)
+    assert not model.cut_forever(1, 2, 5.0)  # not cut yet at that time
+
+
+def test_model_repr_is_stable_for_cache_keys():
+    """Equal models share a repr regardless of override insertion order
+    (the sweep cache hashes config reprs)."""
+    a = NetFaultModel(
+        overrides=(
+            ((1, 0), LinkFaults(loss=0.2)),
+            ((0, 1), LinkFaults(loss=0.1)),
+        )
+    )
+    b = NetFaultModel(
+        overrides=(
+            ((0, 1), LinkFaults(loss=0.1)),
+            ((1, 0), LinkFaults(loss=0.2)),
+        )
+    )
+    assert a == b
+    assert repr(a) == repr(b)
+
+
+def test_model_uniform_constructor():
+    model = NetFaultModel.uniform(loss=0.2, duplicate=0.1, reorder=0.05, seed=9)
+    assert model.link(3, 1) == LinkFaults(loss=0.2, duplicate=0.1, reorder=0.05)
+    assert model.seed == 9
+    assert model  # truthy: has faults
+    assert not NetFaultModel.uniform()  # no faults at all
+
+
+def test_model_random_is_seed_pure():
+    a = NetFaultModel.random(4, 50.0, seed=3, partition_count=2)
+    b = NetFaultModel.random(4, 50.0, seed=3, partition_count=2)
+    c = NetFaultModel.random(4, 50.0, seed=4, partition_count=2)
+    assert a == b
+    assert a != c
+    assert len(a.partitions) == 2
+    assert len(a.overrides) == 12  # every ordered pair of 4 processes
+    for (src, dst), faults in a.overrides:
+        assert src != dst
+        assert 0.0 <= faults.loss <= 0.3
+    with pytest.raises(SimulationError):
+        NetFaultModel.random(1, 50.0)
+
+
+def test_model_rng_stream_mixes_both_seeds():
+    model = NetFaultModel.uniform(loss=0.5, seed=1)
+    assert model.rng_for(0).random() == model.rng_for(0).random()
+    assert model.rng_for(0).random() != model.rng_for(1).random()
+    other = NetFaultModel.uniform(loss=0.5, seed=2)
+    assert model.rng_for(0).random() != other.rng_for(0).random()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Determinism lint: no ambient randomness or wall clock in ``src/repro``.
+
+Every simulated run in this repo must be a pure function of its seeds --
+that is what makes traces byte-identical, golden tests meaningful and
+the sweep cache sound.  The enforcement is a small static pass over the
+AST of every file under ``src/repro`` that flags the three ways ambient
+nondeterminism leaks in:
+
+* ``random.<fn>(...)`` -- calls on the *module-level* shared RNG
+  (``random.random()``, ``random.choice(...)``, ``random.seed(...)``
+  ...).  All randomness must flow through a caller-supplied, explicitly
+  seeded ``random.Random`` instance.
+* ``random.Random()`` with no arguments -- an unseeded RNG instance
+  (seeded from the OS): every ``Random`` must be built from an explicit
+  seed argument.
+* ``time.time(...)`` / ``time.time_ns(...)`` -- wall clock in the
+  simulation path.  (``time.perf_counter`` stays allowed: the profiler
+  measures wall time *by design*, outside every deterministic artifact.)
+
+Run from the repo root (exit code 1 on any violation)::
+
+    python tools/lint_determinism.py [root ...]
+
+``tests/test_lint_determinism.py`` wires this into the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, NamedTuple
+
+#: ``module attr`` call patterns that are always forbidden.
+_FORBIDDEN_CALLS = {
+    ("time", "time"): "wall clock in the simulation path",
+    ("time", "time_ns"): "wall clock in the simulation path",
+}
+_FORBIDDEN_MODULE_RNG = "call on the shared module-level RNG"
+_FORBIDDEN_UNSEEDED = "random.Random() without an explicit seed argument"
+
+
+class Violation(NamedTuple):
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.message} ({self.code})"
+
+
+def _module_attr(func: ast.expr):
+    """``(module, attr)`` when ``func`` is ``<Name>.<attr>``, else None."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def check_source(path: Path, source: str) -> List[Violation]:
+    """All determinism violations in one file's source text."""
+    tree = ast.parse(source, filename=str(path))
+    found: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _module_attr(node.func)
+        if target is None:
+            continue
+        module, attr = target
+        if (module, attr) in _FORBIDDEN_CALLS:
+            found.append(
+                Violation(
+                    path, node.lineno, f"{module}.{attr}",
+                    _FORBIDDEN_CALLS[(module, attr)],
+                )
+            )
+        elif module == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    found.append(
+                        Violation(
+                            path, node.lineno, "random.Random()",
+                            _FORBIDDEN_UNSEEDED,
+                        )
+                    )
+            else:
+                found.append(
+                    Violation(
+                        path, node.lineno, f"random.{attr}",
+                        _FORBIDDEN_MODULE_RNG,
+                    )
+                )
+    return found
+
+
+def check_tree(root: Path) -> List[Violation]:
+    """Violations in every ``*.py`` under ``root``, in path order."""
+    violations: List[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_source(path, path.read_text(encoding="utf-8")))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [
+        Path(__file__).resolve().parent.parent / "src" / "repro"
+    ]
+    violations: List[Violation] = []
+    for root in roots:
+        if not root.exists():
+            print(f"lint_determinism: no such path: {root}", file=sys.stderr)
+            return 2
+        violations.extend(check_tree(root))
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{len(violations)} determinism violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
