@@ -1,0 +1,51 @@
+"""Shared machine-readable benchmark output: ``BENCH_<name>.json``.
+
+Every benchmark module funnels its headline numbers (throughput,
+latency quantiles, speedups) through :func:`write_bench`, which merges
+them into one JSON document per benchmark at the repo root --
+``BENCH_runner_scaling.json``, ``BENCH_net_faults.json``,
+``BENCH_serve.json`` -- so trend tracking reads files with a stable
+schema instead of scraping pytest output.  Each write stamps the
+process's peak RSS (via ``resource``; the image has no psutil).
+
+Multiple tests of one module may call ``write_bench`` with the same
+name: sections merge, last write of a key wins, and the file is
+rewritten whole each time (atomic enough for a single process).
+"""
+
+import json
+import resource
+import sys
+from pathlib import Path
+
+#: Benchmarks run from the repo root; the artifacts land next to
+#: ``pyproject.toml`` (and are gitignored).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def write_bench(name: str, sections: dict, directory=None) -> Path:
+    """Merge ``sections`` into ``BENCH_<name>.json``; returns the path."""
+    directory = Path(directory) if directory is not None else REPO_ROOT
+    path = directory / f"BENCH_{name}.json"
+    doc = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            doc = {}
+    doc.update(sections)
+    doc["bench"] = name
+    doc["peak_rss_bytes"] = peak_rss_bytes()
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+from benchmarks._emit import write_bench
 from repro.harness import ratio_sweep, render_runner_stats, run_sweep
 from repro.sim import SimulationConfig
 from repro.workloads import RandomUniformWorkload
@@ -85,6 +86,22 @@ def test_parallel_matches_serial_and_scales(benchmark, emit, serial_run):
             ),
         )
     )
+    write_bench(
+        "runner_scaling",
+        {
+            "scaling": {
+                "cpus": cpus,
+                "workers": PARALLEL_WORKERS,
+                "cells": len(XS),
+                "serial_s": round(serial_s, 4),
+                "parallel_s": round(parallel_s, 4),
+                "speedup": round(speedup, 2),
+                "throughput_cells_per_s": round(len(XS) / parallel_s, 2)
+                if parallel_s > 0
+                else None,
+            }
+        },
+    )
     # Identical results, not just statistically close.
     assert parallel_sweep.ratio_series() == serial_sweep.ratio_series()
     assert parallel_sweep.forced_series() == serial_sweep.forced_series()
@@ -131,6 +148,19 @@ def test_warm_cache_short_circuits(benchmark, emit, serial_run, tmp_path_factory
     emit(
         f"Warm cache: {len(XS)} cells in {warm_s * 1000:.1f} ms "
         f"(cold serial {serial_s:.2f}s)"
+    )
+    write_bench(
+        "runner_scaling",
+        {
+            "warm_cache": {
+                "cells": len(XS),
+                "warm_cache_s": round(warm_s, 5),
+                "serial_s": round(serial_s, 4),
+                "cache_speedup": round(serial_s / warm_s, 1)
+                if warm_s > 0
+                else None,
+            }
+        },
     )
     # A warm cache must beat rerunning the cells by a wide margin.
     assert warm_s < serial_s / 5

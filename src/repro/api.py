@@ -56,6 +56,9 @@ from repro.sim import (
     SimulationConfig,
     TransportConfig,
 )
+from repro.core.registry import PROTOCOLS
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig, ServerHandle, serve_in_thread
 from repro.types import SimulationError
 from repro.workloads import WORKLOADS
 from repro.workloads.base import Workload
@@ -74,22 +77,40 @@ __all__ = [
     "ReplayResult",
     "ResultCache",
     "RunnerStats",
+    "ServerConfig",
+    "ServerHandle",
     "SimulationConfig",
     "SweepResult",
     "Tracer",
     "TransportConfig",
     "analyze_rdt",
     "compare",
+    "connect",
     "find_z_cycles",
     "metrics",
     "recover",
     "run",
+    "serve",
     "sweep",
     "useless_checkpoints",
 ]
 
 #: How a caller may specify the workload of a scenario.
 WorkloadSpec = Union[str, Workload, Callable[[], Workload]]
+
+
+def _validate_protocols(names: Sequence[str]) -> None:
+    """Every protocol name must be in the registry, or SimulationError.
+
+    The registry itself raises :class:`~repro.types.ProtocolError`; the
+    api surface promises the single exception type
+    :class:`SimulationError` for bad scenario arguments, naming the bad
+    key and listing the valid entries.
+    """
+    for name in names:
+        if name not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise SimulationError(f"unknown protocol {name!r}; known: {known}")
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +248,7 @@ def run(
     reliable transport recovering exactly-once delivery; the returned
     history still satisfies the paper's channel model.
     """
+    _validate_protocols([protocol])
     sim = Simulation(
         _workload_factory(workload, workload_args)(),
         _resolve_config(config, n, duration, seed, basic_rate, net_faults, transport),
@@ -255,6 +277,7 @@ def compare(
     profiler: Optional[Profiler] = None,
 ) -> ComparisonResult:
     """Replay the same traces under several protocols, aggregated over seeds."""
+    _validate_protocols([*protocols, baseline])
     make_workload = _workload_factory(workload, workload_args)
     if scenario is None:
         scenario = workload if isinstance(workload, str) else "scenario"
@@ -313,6 +336,7 @@ def sweep(
     crashed or hung workers are retried with backoff (see
     :func:`repro.harness.runner.run_sweep`).
     """
+    _validate_protocols([*protocols, baseline])
     if backend not in ("auto", "serial", "process"):
         raise SimulationError(
             f"unknown backend {backend!r}; use auto, serial or process"
@@ -378,6 +402,7 @@ def recover(
     history.  ``gc_every_ops`` additionally runs the safe online
     sender-log garbage collector at that op cadence.
     """
+    _validate_protocols([protocol])
     resolved = _resolve_config(
         config, n, duration, seed, basic_rate, net_faults, transport
     )
@@ -401,6 +426,58 @@ def recover(
         cross_check=cross_check,
         gc_every_ops=gc_every_ops,
     )
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    workers: int = 4,
+    queue_depth: int = 256,
+    idle_timeout: Optional[float] = None,
+    snapshot_dir: Optional[str] = None,
+    config: Optional[ServerConfig] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ServerHandle:
+    """Start the online checkpointing service on a background thread.
+
+    The returned :class:`~repro.serve.server.ServerHandle` is a context
+    manager whose exit performs a graceful drain (every acknowledged
+    frame applied, all sessions snapshotted); ``handle.address`` /
+    ``handle.connect_address()`` give where to point :func:`connect`.
+    ``port=0`` (the default) binds an ephemeral TCP port;
+    ``unix_path=`` serves on a Unix socket instead.  See
+    ``docs/SERVICE.md`` for the wire protocol and semantics.
+    """
+    if config is not None:
+        if unix_path is not None or snapshot_dir is not None or port != 0:
+            raise SimulationError(
+                "pass either config= or the individual server knobs, not both"
+            )
+    else:
+        config = ServerConfig(
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            workers=workers,
+            queue_depth=queue_depth,
+            idle_timeout=idle_timeout,
+            snapshot_dir=snapshot_dir,
+        )
+    return serve_in_thread(config, tracer=tracer, metrics=metrics)
+
+
+def connect(address: str, *, timeout: Optional[float] = 10.0) -> Client:
+    """A blocking client for a running service.
+
+    ``address`` is ``"host:port"`` or ``"unix:/path"`` (what
+    :meth:`ServerHandle.connect_address` returns).  Raises a plain
+    :class:`ConnectionError` -- promptly, never a hang -- when nothing
+    listens there.
+    """
+    return Client(address, timeout=timeout)
 
 
 def analyze_rdt(

@@ -10,7 +10,10 @@ Commands
 ``sweep``    R as a function of the basic-checkpoint rate (figure-style)
 ``analyze``  RDT/Z-cycle analysis of a built-in pattern or a fresh run
 ``recover``  crash a process mid-run and print the recovery line
-``protocols``/``workloads``  list the registries
+``serve``    run the online checkpointing service in the foreground
+``client``   one request against a running service (JSON reply)
+``loadgen``  replay generated workloads through concurrent connections
+``protocols``/``workloads``  list the registries (``--json`` for machines)
 
 ``run``/``compare``/``sweep`` share the observability flags:
 ``--trace FILE`` writes the deterministic JSONL event trace,
@@ -502,7 +505,27 @@ def _cmd_recover_online(args) -> int:
     return 0
 
 
-def cmd_protocols(_args) -> int:
+def _doc_line(cls) -> str:
+    """The one-line summary of a registry class (first docstring line)."""
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def cmd_protocols(args) -> int:
+    if getattr(args, "json", False):
+        entries = [
+            {
+                "name": name,
+                "class": cls.__name__,
+                "doc": _doc_line(cls),
+                "ensures_rdt": cls.ensures_rdt,
+                "carries_tdv": cls.carries_tdv,
+                "family": "rdt" if name in RDT_FAMILY else "baseline",
+            }
+            for name, cls in sorted(PROTOCOLS.items())
+        ]
+        print(canonical_dumps({"command": "protocols", "protocols": entries}))
+        return 0
     rows = [
         {
             "name": name,
@@ -516,13 +539,134 @@ def cmd_protocols(_args) -> int:
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads(args) -> int:
+    if getattr(args, "json", False):
+        entries = [
+            {"name": name, "class": cls.__name__, "doc": _doc_line(cls)}
+            for name, cls in sorted(WORKLOADS.items())
+        ]
+        print(canonical_dumps({"command": "workloads", "workloads": entries}))
+        return 0
     rows = [
         {"name": name, "class": cls.__name__}
         for name, cls in sorted(WORKLOADS.items())
     ]
     print(render_table(rows, title="workloads"))
     return 0
+
+
+# ----------------------------------------------------------------------
+# the service verbs
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    """Run the checkpointing daemon in the foreground until Ctrl-C."""
+    import time
+
+    from repro.serve.server import ServerConfig
+
+    obs = _Obs(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        idle_timeout=args.idle_timeout,
+        snapshot_dir=args.snapshot_dir,
+    )
+    handle = api.serve(config=config, tracer=obs.tracer, metrics=obs.registry)
+    if not obs.json:
+        print(f"serving on {handle.connect_address()}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    summary = handle.close()
+    doc: Dict[str, object] = {
+        "command": "serve",
+        "address": handle.connect_address(),
+        "sessions": summary,
+    }
+    if not obs.json:
+        print(f"drained {len(summary)} session(s)")
+    obs.finish(doc)
+    obs.emit(doc)
+    return 0
+
+
+def cmd_client(args) -> int:
+    """One request against a running service; prints the JSON reply."""
+    from repro.types import ReproError
+
+    if args.session is None:
+        raise SystemExit(f"--session is required for {args.op}")
+    try:
+        client = api.connect(args.address, timeout=args.timeout)
+    except ConnectionError as exc:
+        raise SystemExit(str(exc))
+    try:
+        if args.op == "hello":
+            reply = client.hello(args.session, n=args.n, protocol=args.protocol)
+        elif args.op == "checkpoint":
+            reply = client.checkpoint(args.session, args.pid)
+        elif args.op == "send":
+            reply = client.send(args.session, args.src, args.dst)
+        elif args.op == "deliver":
+            reply = client.deliver(args.session, args.msg_id)
+        elif args.op == "query":
+            reply = client.query(args.session, args.what, crashed=args.crashed)
+        else:  # snapshot
+            reply = client.snapshot(args.session)
+    except (ReproError, ConnectionError) as exc:
+        raise SystemExit(str(exc))
+    finally:
+        client.close()
+    print(canonical_dumps(reply))
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running service with generated workload traffic."""
+    from repro.serve.loadgen import run_load
+
+    obs = _Obs(args)
+    try:
+        report = run_load(
+            args.address,
+            sessions=args.sessions,
+            workload=args.workload,
+            protocol=args.protocol,
+            n=args.n,
+            duration=args.duration,
+            seed=args.seed,
+            basic_rate=args.basic_rate,
+            window=args.window,
+            query_every=args.query_every,
+        )
+    except ConnectionError as exc:
+        raise SystemExit(str(exc))
+    doc: Dict[str, object] = {"command": "loadgen", "load": report.as_doc()}
+    if not obs.json:
+        quantiles = report.latency_quantiles()
+        print(
+            render_table(
+                [
+                    {
+                        "sessions": report.sessions,
+                        "acked": report.acked,
+                        "shed": report.shed,
+                        "errors": report.errors,
+                        "events/s": f"{report.throughput:.0f}",
+                        "p50 ms": f"{quantiles['ingest_p50_s'] * 1e3:.2f}",
+                        "p99 ms": f"{quantiles['ingest_p99_s'] * 1e3:.2f}",
+                    }
+                ],
+                title=f"loadgen: {args.workload} -> {args.address}",
+            )
+        )
+    obs.emit(doc)
+    return 0 if report.errors == 0 else 1
 
 
 # ----------------------------------------------------------------------
@@ -629,9 +773,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_recover)
 
+    p = sub.add_parser("serve", help="run the checkpointing service")
+    _add_obs_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7463, help="0 = ephemeral")
+    p.add_argument(
+        "--unix", metavar="PATH", default=None, help="serve on a Unix socket"
+    )
+    p.add_argument("--workers", type=int, default=4, help="session shards")
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="per-shard queue bound before frames are shed",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="snapshot + evict sessions idle this long",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        default=None,
+        help="persist session snapshots under DIR (default: in memory)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="one request against a service")
+    p.add_argument("address", help="host:port or unix:/path")
+    p.add_argument(
+        "op",
+        choices=["hello", "checkpoint", "send", "deliver", "query", "snapshot"],
+    )
+    p.add_argument("--session", default=None, help="session id")
+    p.add_argument("-n", type=int, default=None, help="hello: process count")
+    p.add_argument("--protocol", default=None, choices=sorted(PROTOCOLS))
+    p.add_argument("--pid", type=int, default=0, help="checkpoint: process")
+    p.add_argument("--src", type=int, default=0, help="send: sender")
+    p.add_argument("--dst", type=int, default=1, help="send: destination")
+    p.add_argument("--msg-id", type=int, default=0, help="deliver: message id")
+    p.add_argument(
+        "--what",
+        default="rdt_status",
+        choices=["rdt_status", "z_cycles", "recovery_line", "metrics"],
+    )
+    p.add_argument(
+        "--crashed", nargs="+", type=int, default=None,
+        help="recovery_line: crashed pids (default: all)",
+    )
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("loadgen", help="drive a service with workloads")
+    p.add_argument("address", help="host:port or unix:/path")
+    _add_scenario_args(p)
+    p.add_argument("--protocol", default="bhmr", choices=sorted(PROTOCOLS))
+    p.add_argument("--sessions", type=int, default=8)
+    p.add_argument(
+        "--window", type=int, default=64, help="frames in flight per session"
+    )
+    p.add_argument(
+        "--query-every",
+        type=int,
+        default=0,
+        metavar="OPS",
+        help="interleave an rdt_status query every OPS ingest ops",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one canonical JSON document instead of the table",
+    )
+    p.set_defaults(func=cmd_loadgen)
+
     p = sub.add_parser("protocols", help="list known protocols")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (name, class, doc)",
+    )
     p.set_defaults(func=cmd_protocols)
     p = sub.add_parser("workloads", help="list known workloads")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (name, class, doc)",
+    )
     p.set_defaults(func=cmd_workloads)
     return parser
 

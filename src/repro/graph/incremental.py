@@ -258,6 +258,44 @@ class IncrementalRGraph:
                         break
         return sorted(out)
 
+    # ------------------------------------------------------------------
+    # snapshot / restore (session eviction in ``repro.serve``)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """A JSON-safe snapshot: nodes, frontier indices, closure."""
+        return {
+            "n": self._n,
+            "last_index": list(self._last_index),
+            "nodes": [[cid.pid, cid.index] for cid in self._nodes],
+            "closure": self._closure.state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "IncrementalRGraph":
+        """Rebuild a graph from a :meth:`state` snapshot.
+
+        The restored instance answers every query bit-identically to
+        the snapshotted one and accepts further feed calls; tracer and
+        metrics attach fresh (instrument state is not part of a
+        snapshot).
+        """
+        inst = cls.__new__(cls)
+        inst._n = int(state["n"])
+        inst.tracer = tracer
+        inst.metrics = metrics
+        inst._closure = IncrementalClosure.from_state(state["closure"])
+        inst._nodes = [
+            CheckpointId(int(pid), int(index)) for pid, index in state["nodes"]
+        ]
+        inst._id_of = {cid: node for node, cid in enumerate(inst._nodes)}
+        inst._last_index = [int(x) for x in state["last_index"]]
+        return inst
+
     def __repr__(self) -> str:
         return (
             f"<IncrementalRGraph n={self._n} nodes={self.num_nodes()} "

@@ -53,6 +53,13 @@ KINDS = (
     "net.deliver",      # transport handed a message to the protocol layer
     "net.ack",          # sender received the delivery ack
     "net.degraded",     # watchdog gave up on a message; link degraded
+    "serve.start",      # daemon bound its listening address
+    "serve.stop",       # daemon drained and stopped (session count)
+    "serve.conn",       # connection opened/closed (mark field)
+    "serve.shed",       # backpressure refused a frame (full shard queue)
+    "serve.snapshot",   # session snapshotted on request
+    "serve.evict",      # idle session snapshotted and dropped from RAM
+    "serve.restore",    # evicted session replayed back to live state
 )
 
 

@@ -1,0 +1,62 @@
+"""``repro.serve``: the online checkpointing service.
+
+Everything the repo can compute offline over a finished trace -- the
+CIC forcing predicates, incremental R-graph closure, Z-cycle and
+useless-checkpoint detection, online recovery lines -- is exposed here
+as a long-running daemon that external processes talk to over a small
+length-prefixed JSON wire protocol.  A *session* is one distributed
+computation of ``n`` processes: the server runs the chosen protocol as
+a sidecar (every ingest reply carries the ``force_checkpoint`` decision
+plus the piggyback payload) and answers analysis queries incrementally,
+in O(update) rather than O(replay).
+
+Layers
+------
+* :mod:`repro.serve.wire` -- the frame codec and request/reply schema;
+* :mod:`repro.serve.session` -- one session's live state + ingest log;
+* :mod:`repro.serve.server` -- the asyncio daemon (sharded workers,
+  backpressure, idle eviction, graceful drain);
+* :mod:`repro.serve.snapshots` -- session snapshot/restore store;
+* :mod:`repro.serve.client` -- sync and async client libraries;
+* :mod:`repro.serve.loadgen` -- workload replay through N connections.
+
+The blessed entrypoints are :func:`repro.api.serve` and
+:func:`repro.api.connect`; the CLI verbs are ``repro serve``,
+``repro client`` and ``repro loadgen``.
+"""
+
+from repro.serve.client import AsyncClient, Client, parse_address
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.server import CheckpointServer, ServerConfig, ServerHandle
+from repro.serve.session import ServeSession, offline_answers
+from repro.serve.snapshots import SnapshotStore
+from repro.serve.wire import (
+    MAX_FRAME,
+    FrameBuffer,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "AsyncClient",
+    "CheckpointServer",
+    "Client",
+    "FrameBuffer",
+    "FrameError",
+    "LoadReport",
+    "MAX_FRAME",
+    "ServeSession",
+    "ServerConfig",
+    "ServerHandle",
+    "SnapshotStore",
+    "decode_frame",
+    "encode_frame",
+    "offline_answers",
+    "parse_address",
+    "read_frame",
+    "run_load",
+    "write_frame",
+]

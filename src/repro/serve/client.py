@@ -1,0 +1,332 @@
+"""Client libraries for the checkpointing service.
+
+Two flavours over the same wire format:
+
+* :class:`Client` -- a plain blocking socket client, one in-flight
+  request at a time.  The right tool for scripts, the CLI ``repro
+  client`` verb and tests.
+* :class:`AsyncClient` -- an asyncio client with *pipelining*: requests
+  are matched to replies by their ``seq`` field, so many can be in
+  flight per connection.  This is what the load generator drives.
+
+Both raise :class:`ReplyError` when the server answers ``ok: false``
+(the reply's error code is on the exception, so callers can tell a
+shed ``overloaded`` frame -- retryable -- from a real fault), and plain
+:class:`ConnectionError` when the peer is gone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.serve import wire
+from repro.types import ReproError
+
+#: ``("tcp", host, port)`` or ``("unix", path)``.
+Address = Union[Tuple[str, str, int], Tuple[str, str]]
+
+
+class ReplyError(ReproError):
+    """The server answered ``ok: false``; ``code`` is its error code."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+def parse_address(spec: Union[str, Address]) -> Address:
+    """Parse ``"host:port"``, ``":port"`` or ``"unix:/path"``.
+
+    Already-parsed tuples pass through, so every entrypoint can accept
+    either form.
+    """
+    if isinstance(spec, tuple):
+        if spec and spec[0] in ("tcp", "unix"):
+            return spec  # type: ignore[return-value]
+        raise ValueError(f"bad address tuple {spec!r}")
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ValueError("unix: address needs a path")
+        return ("unix", path)
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad address {spec!r}; want host:port or unix:/path"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+def _raise_if_error(reply: Dict[str, object]) -> Dict[str, object]:
+    if not reply.get("ok", False):
+        raise ReplyError(
+            str(reply.get("error", "error")), str(reply.get("detail", ""))
+        )
+    return reply
+
+
+class _Requests:
+    """The request vocabulary, shared by the sync and async clients.
+
+    Subclasses provide ``call(doc) -> reply`` (sync or async); this
+    mixin only builds the frames, so the two clients can never drift
+    apart on schema.
+    """
+
+    @staticmethod
+    def _frame(kind: str, seq: int, **fields: object) -> Dict[str, object]:
+        doc: Dict[str, object] = {"kind": kind, "seq": seq}
+        for key, value in fields.items():
+            if value is not None:
+                doc[key] = value
+        return doc
+
+
+class Client(_Requests):
+    """Blocking client: one request, one reply, in order."""
+
+    def __init__(
+        self, address: Union[str, Address], timeout: Optional[float] = 10.0
+    ) -> None:
+        self.address = parse_address(address)
+        self._seq = 0
+        self._buffer = wire.FrameBuffer()
+        try:
+            if self.address[0] == "unix":
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(self.address[1])
+            else:
+                self._sock = socket.create_connection(
+                    (self.address[1], self.address[2]), timeout=timeout
+                )
+        except ConnectionError:
+            raise
+        except OSError as exc:
+            # FileNotFoundError on a missing unix socket, EHOSTUNREACH...
+            # -- normalise so callers handle exactly one exception type.
+            raise ConnectionError(
+                f"cannot connect to {self.address!r}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def call(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """Send one frame, wait for the matching reply (raw, may be ok=false)."""
+        wire.send_frame(self._sock, doc)
+        while True:
+            reply = wire.recv_frame(self._sock, self._buffer)
+            if reply is None:
+                raise ConnectionError("server closed the connection")
+            if reply.get("seq") == doc["seq"]:
+                return reply
+
+    def request(self, kind: str, **fields: object) -> Dict[str, object]:
+        self._seq += 1
+        return _raise_if_error(self.call(self._frame(kind, self._seq, **fields)))
+
+    # -- the vocabulary -------------------------------------------------
+    def hello(
+        self,
+        session: str,
+        n: Optional[int] = None,
+        protocol: Optional[str] = None,
+    ) -> Dict[str, object]:
+        return self.request("hello", session=session, n=n, protocol=protocol)
+
+    def checkpoint(self, session: str, pid: int) -> Dict[str, object]:
+        return self.request("checkpoint", session=session, pid=pid)
+
+    def send(self, session: str, src: int, dst: int) -> Dict[str, object]:
+        return self.request("send", session=session, src=src, dst=dst)
+
+    def deliver(self, session: str, msg_id: int) -> Dict[str, object]:
+        return self.request("deliver", session=session, msg_id=msg_id)
+
+    def query(
+        self,
+        session: str,
+        what: str,
+        crashed: Optional[Sequence[int]] = None,
+    ) -> Dict[str, object]:
+        reply = self.request(
+            "query",
+            session=session,
+            what=what,
+            crashed=list(crashed) if crashed is not None else None,
+        )
+        return reply["result"]  # type: ignore[return-value]
+
+    def snapshot(self, session: str) -> Dict[str, object]:
+        return self.request("snapshot", session=session)
+
+    def bye(self) -> None:
+        self._seq += 1
+        try:
+            self.call(self._frame("bye", self._seq))
+        except (ConnectionError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self.bye()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<Client {self.address}>"
+
+
+class AsyncClient(_Requests):
+    """Pipelining asyncio client; create via :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._seq = 0
+        self._pending: Dict[object, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_replies())
+
+    @classmethod
+    async def connect(
+        cls, address: Union[str, Address], timeout: float = 10.0
+    ) -> "AsyncClient":
+        addr = parse_address(address)
+        try:
+            if addr[0] == "unix":
+                opening = asyncio.open_unix_connection(addr[1])
+            else:
+                opening = asyncio.open_connection(addr[1], addr[2])
+            reader, writer = await asyncio.wait_for(opening, timeout=timeout)
+        except ConnectionError:
+            raise
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ConnectionError(
+                f"cannot connect to {addr!r}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    async def _read_replies(self) -> None:
+        error: BaseException = ConnectionError("server closed the connection")
+        buffer = wire.FrameBuffer()
+        try:
+            while True:
+                reply = buffer.next_doc()
+                if reply is None:
+                    data = await self._reader.read(65536)
+                    if not data:
+                        if buffer.pending():
+                            error = wire.FrameError("closed mid-frame")
+                        break
+                    buffer.feed(data)
+                    continue
+                future = self._pending.pop(reply.get("seq"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (wire.FrameError, ConnectionError, OSError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionError("client closed")
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+                # A caller that already gave up on the connection never
+                # awaits these; read the exception back so their garbage
+                # collection stays silent.  Awaiting them still raises.
+                future.exception()
+        self._pending.clear()
+
+    def submit(self, kind: str, **fields: object) -> "asyncio.Future":
+        """Fire one request without waiting; resolves to the raw reply.
+
+        This is the pipelining primitive: N submits then N awaits keeps
+        N frames in flight on one connection.
+        """
+        self._seq += 1
+        seq = self._seq
+        doc = self._frame(kind, seq, **fields)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[seq] = future
+        try:
+            self._writer.write(wire.encode_frame(doc))
+        except Exception as exc:  # connection already torn down
+            self._pending.pop(seq, None)
+            if not future.done():
+                future.set_exception(ConnectionError(str(exc)))
+        return future
+
+    async def flush(self) -> None:
+        """Honour the transport's backpressure after a burst of submits."""
+        await self._writer.drain()
+
+    async def call(self, kind: str, **fields: object) -> Dict[str, object]:
+        future = self.submit(kind, **fields)
+        await self._writer.drain()
+        return _raise_if_error(await future)
+
+    # -- the vocabulary -------------------------------------------------
+    async def hello(
+        self,
+        session: str,
+        n: Optional[int] = None,
+        protocol: Optional[str] = None,
+    ) -> Dict[str, object]:
+        return await self.call("hello", session=session, n=n, protocol=protocol)
+
+    async def checkpoint(self, session: str, pid: int) -> Dict[str, object]:
+        return await self.call("checkpoint", session=session, pid=pid)
+
+    async def send(self, session: str, src: int, dst: int) -> Dict[str, object]:
+        return await self.call("send", session=session, src=src, dst=dst)
+
+    async def deliver(self, session: str, msg_id: int) -> Dict[str, object]:
+        return await self.call("deliver", session=session, msg_id=msg_id)
+
+    async def query(
+        self,
+        session: str,
+        what: str,
+        crashed: Optional[Sequence[int]] = None,
+    ) -> Dict[str, object]:
+        reply = await self.call(
+            "query",
+            session=session,
+            what=what,
+            crashed=list(crashed) if crashed is not None else None,
+        )
+        return reply["result"]  # type: ignore[return-value]
+
+    async def snapshot(self, session: str) -> Dict[str, object]:
+        return await self.call("snapshot", session=session)
+
+    async def close(self) -> None:
+        try:
+            await self.call("bye")
+        except (ReproError, ConnectionError, OSError):
+            pass
+        self._reader_task.cancel()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return f"<AsyncClient pending={len(self._pending)}>"

@@ -1,0 +1,636 @@
+"""The asyncio checkpointing daemon.
+
+One event loop, many sessions, bounded memory:
+
+* **Sharded session actors.**  Each session is pinned to exactly one of
+  ``workers`` worker tasks (stable CRC of the session id), so one
+  session's operations apply strictly in arrival order with no locks,
+  while distinct sessions interleave freely across the pool.
+* **Backpressure, never unbounded queues.**  Each shard's queue is
+  bounded (``queue_depth``); a frame arriving at a full shard is *shed*
+  -- refused with an ``overloaded`` error reply, counted in
+  ``serve.shed`` and traced -- instead of buffered without limit.  A
+  shed frame is not acknowledged, so clients can simply retry.
+* **Idle eviction.**  Sessions idle past ``idle_timeout`` are
+  snapshotted to the :class:`~repro.serve.snapshots.SnapshotStore` and
+  dropped from RAM; the next frame naming them restores transparently
+  (with a digest check on the replayed state).
+* **Graceful drain.**  :meth:`CheckpointServer.stop` stops intake,
+  drains every shard queue -- every frame already read gets its reply,
+  so no acknowledged frame is ever lost -- snapshots all live sessions
+  and only then closes connections.
+
+Blocking calls are banned inside this package's coroutines by
+``tools/lint_determinism.py``; wall-clock use is confined to the event
+loop's monotonic clock (idle bookkeeping) and ``perf_counter``
+latency histograms, neither of which touches a deterministic artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING, Union
+
+from repro.serve import wire
+from repro.serve.session import ServeSession, SessionError
+from repro.serve.snapshots import SnapshotStore, restore_session
+from repro.types import ReproError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+#: Address of a running server: ``("tcp", host, port)`` or ``("unix", path)``.
+Address = Tuple[str, ...]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one daemon instance (defaults suit tests and demos).
+
+    ``port=0`` binds an ephemeral TCP port; ``unix_path`` switches to a
+    Unix socket instead.  ``idle_timeout=None`` disables eviction;
+    ``snapshot_dir=None`` keeps snapshots in memory.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_path: Optional[str] = None
+    workers: int = 4
+    queue_depth: int = 256
+    idle_timeout: Optional[float] = None
+    snapshot_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise SimulationError("workers must be positive")
+        if self.queue_depth <= 0:
+            raise SimulationError("queue_depth must be positive")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise SimulationError("idle_timeout must be positive (or None)")
+
+
+#: Frame kinds the dispatcher accepts (set: checked once per frame).
+_KNOWN_KINDS = frozenset(wire.KINDS)
+
+#: Outgoing bytes buffered before a worker awaits ``drain()``.  Writes
+#: are synchronous on the loop (whole frames, so they never interleave);
+#: draining only past this mark batches many replies per syscall wakeup.
+_WRITE_HIGH_WATER = 256 * 1024
+
+
+class _Conn:
+    """Per-connection write state: coalesced writes, pending count.
+
+    Workers ``push`` encoded replies onto an app-level list and
+    ``flush_writes`` once per processed batch -- one ``send`` syscall
+    carries a whole batch of replies instead of one each.  ``done`` is
+    only called after the flush, so ``drained`` set implies every
+    acknowledged reply has reached the transport.
+    """
+
+    __slots__ = ("writer", "pending", "drained", "_out")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.pending = 0
+        self.drained = asyncio.Event()
+        self.drained.set()
+        self._out: List[bytes] = []
+
+    def push(self, doc: Dict[str, object]) -> None:
+        if not self.writer.is_closing():
+            self._out.append(wire.encode_frame(doc))
+
+    async def flush_writes(self) -> None:
+        if not self._out:
+            return
+        data = b"".join(self._out)
+        self._out.clear()
+        if self.writer.is_closing():
+            return
+        self.writer.write(data)
+        transport = self.writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
+        ):
+            await self.writer.drain()
+
+    async def reply(self, doc: Dict[str, object]) -> None:
+        self.push(doc)
+        await self.flush_writes()
+
+    def enqueue(self) -> None:
+        self.pending += 1
+        self.drained.clear()
+
+    def done(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self.drained.set()
+
+
+class CheckpointServer:
+    """The online checkpointing service (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.sessions: Dict[str, ServeSession] = {}
+        self.store = SnapshotStore(self.config.snapshot_dir)
+        self._activity: Dict[str, float] = {}
+        self._queues: List[asyncio.Queue] = []
+        self._workers: List[asyncio.Task] = []
+        self._housekeeper: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()
+        self._readers: set = set()
+        self._stopping = False
+        self._stopped = False
+        self._tick = 0  # server-side trace clock (one per traced event)
+        self.shed_frames = 0
+        self.ingested_frames = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Address:
+        """Bind, spawn the worker pool, start accepting; returns address."""
+        if self._server is not None:
+            raise SimulationError("server already started")
+        self._queues = [
+            asyncio.Queue(maxsize=self.config.queue_depth)
+            for _ in range(self.config.workers)
+        ]
+        self._workers = [
+            asyncio.ensure_future(self._worker(shard))
+            for shard in range(self.config.workers)
+        ]
+        if self.config.idle_timeout is not None:
+            self._housekeeper = asyncio.ensure_future(self._housekeep())
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._serve_conn, path=self.config.unix_path
+            )
+            self.address: Address = ("unix", self.config.unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_conn, host=self.config.host, port=self.config.port
+            )
+            sock = self._server.sockets[0]
+            host, port = sock.getsockname()[:2]
+            self.address = ("tcp", host, port)
+        self._trace("serve.start", address=list(self.address))
+        return self.address
+
+    async def stop(self) -> Dict[str, int]:
+        """Graceful drain; returns ``{session_id: ingested event count}``.
+
+        Intake stops first (listener closed, readers refuse new
+        frames), then every shard queue drains -- frames already read
+        are applied and replied to -- then all live sessions are
+        snapshotted to the store and connections closed.
+        """
+        if self._stopped:
+            return {}
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for queue in self._queues:
+            await queue.join()
+        # Let each connection flush replies that workers just produced.
+        for conn in list(self._conns):
+            await conn.drained.wait()
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+        for task in self._workers:
+            task.cancel()
+        summary = {
+            sid: len(session.ingest_log)
+            for sid, session in sorted(self.sessions.items())
+        }
+        for session in self.sessions.values():
+            self.store.save(session)
+        self._trace("serve.stop", sessions=len(summary))
+        self.sessions.clear()
+        for conn in list(self._conns):
+            conn.writer.close()
+        for task in list(self._readers):
+            task.cancel()
+        self._stopped = True
+        return summary
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, **fields: object) -> None:
+        if self.tracer:
+            self._tick += 1
+            self.tracer.event(kind, float(self._tick), **fields)
+
+    def _gauge_sessions(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set("serve.sessions", len(self.sessions))
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _shard_of(self, session_id: str) -> int:
+        return zlib.crc32(session_id.encode("utf-8")) % self.config.workers
+
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        self._readers.add(asyncio.current_task())
+        self._trace("serve.conn", mark="open")
+        if self.metrics is not None:
+            self.metrics.set("serve.connections", len(self._conns))
+        try:
+            await self._read_loop(reader, conn)
+        except (wire.FrameError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            await conn.drained.wait()
+            self._conns.discard(conn)
+            self._readers.discard(asyncio.current_task())
+            self._trace("serve.conn", mark="close")
+            if self.metrics is not None:
+                self.metrics.set("serve.connections", len(self._conns))
+            if not writer.is_closing():
+                writer.close()
+
+    async def _read_loop(self, reader: asyncio.StreamReader, conn: _Conn) -> None:
+        # Chunked reads through a FrameBuffer instead of two
+        # ``readexactly`` awaits per frame: one loop wakeup dispatches
+        # every frame the chunk completed, which is where most of the
+        # per-frame asyncio overhead went.
+        buffer = wire.FrameBuffer()
+        while not self._stopping:
+            doc = buffer.next_doc()
+            if doc is None:
+                data = await reader.read(65536)
+                if not data:
+                    if buffer.pending():
+                        raise wire.FrameError("connection closed mid-frame")
+                    return
+                buffer.feed(data)
+                continue
+            if not await self._dispatch(doc, conn):
+                return
+
+    async def _dispatch(self, doc: Dict[str, object], conn: _Conn) -> bool:
+        """Route one inbound frame; returns False when the conn should close."""
+        seq = doc.get("seq")
+        kind = doc.get("kind")
+        if kind == "bye":
+            await conn.reply({"ok": True, "seq": seq, "bye": True})
+            return False
+        if kind not in _KNOWN_KINDS:
+            await conn.reply(
+                wire.error_reply(seq, "bad_request", f"unknown kind {kind!r}")
+            )
+            return True
+        session_id = doc.get("session")
+        if not isinstance(session_id, str) or not session_id:
+            await conn.reply(
+                wire.error_reply(seq, "bad_request", "missing session field")
+            )
+            return True
+        queue = self._queues[self._shard_of(session_id)]
+        try:
+            conn.enqueue()
+            queue.put_nowait((doc, conn))
+        except asyncio.QueueFull:
+            conn.done()
+            self.shed_frames += 1
+            self._trace("serve.shed", session=session_id, frame=kind, seq=seq)
+            if self.metrics is not None:
+                self.metrics.inc("serve.shed")
+            await conn.reply(
+                wire.error_reply(
+                    seq, "overloaded", "session shard queue is full; retry"
+                )
+            )
+        else:
+            if self.metrics is not None:
+                self.metrics.set(
+                    "serve.queue_depth",
+                    max(q.qsize() for q in self._queues),
+                )
+        return True
+
+    # ------------------------------------------------------------------
+    # shard workers
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        while True:
+            # Batch: one await wakes the worker, then everything already
+            # queued on the shard is processed without further switches,
+            # and each connection gets one coalesced write per batch.
+            items = [await queue.get()]
+            while True:
+                try:
+                    items.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            touched: List[_Conn] = []
+            for item in items:
+                doc, conn = item
+                if conn is None:  # internal housekeeping op
+                    self._evict_if_idle(str(doc["session"]))
+                    continue
+                try:
+                    if self.metrics is not None:
+                        started = perf_counter()
+                        reply = self._handle(doc)
+                        self.metrics.observe(
+                            "serve.latency_s", perf_counter() - started
+                        )
+                    else:
+                        reply = self._handle(doc)
+                    conn.push(reply)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # noqa: BLE001 - a worker must never die
+                    try:
+                        conn.push(
+                            wire.error_reply(
+                                doc.get("seq"), "internal", "internal error"
+                            )
+                        )
+                    except Exception:  # noqa: BLE001
+                        pass
+                if not any(c is conn for c in touched):
+                    touched.append(conn)
+            for conn in touched:
+                try:
+                    await conn.flush_writes()
+                except (ConnectionError, OSError):
+                    pass
+            for item in items:
+                if item[1] is not None:
+                    item[1].done()
+                queue.task_done()
+
+    def _handle(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """Apply one sharded frame against its session (sync, in-shard)."""
+        seq = doc.get("seq")
+        kind = str(doc.get("kind"))
+        session_id = str(doc.get("session"))
+        try:
+            if kind == "hello":
+                return self._handle_hello(doc)
+            session = self._resolve(session_id)
+            self._touch(session_id)
+            if kind == "query":
+                what = str(doc.get("what"))
+                result = session.query(what, crashed=doc.get("crashed"))
+                if self.metrics is not None:
+                    self.metrics.inc("serve.queries")
+                return {"ok": True, "seq": seq, "result": result}
+            if kind == "snapshot":
+                snap = self.store.save(session)
+                self._trace(
+                    "serve.snapshot",
+                    session=session_id,
+                    events=snap["events"],
+                )
+                return {
+                    "ok": True,
+                    "seq": seq,
+                    "events": snap["events"],
+                    "digest": snap["digest"],
+                }
+            reply = session.apply(doc)
+            self.ingested_frames += 1
+            if self.metrics is not None:
+                self.metrics.inc("serve.ingest")
+            reply["seq"] = seq
+            return reply
+        except (ReproError, SessionError) as exc:
+            code = "bad_session" if isinstance(exc, SessionError) else "error"
+            return wire.error_reply(seq, code, str(exc))
+
+    def _handle_hello(self, doc: Dict[str, object]) -> Dict[str, object]:
+        seq = doc.get("seq")
+        session_id = str(doc.get("session"))
+        live = self.sessions.get(session_id)
+        resumed = False
+        if live is None and session_id in self.store:
+            live = self._restore(session_id)
+            resumed = True
+        if live is None:
+            n = doc.get("n")
+            protocol = doc.get("protocol", "bhmr")
+            session = ServeSession(
+                session_id,
+                n if isinstance(n, int) else -1,
+                str(protocol),
+                tracer=None,
+                metrics=self.metrics,
+            )
+            self.sessions[session_id] = live = session
+            self._gauge_sessions()
+        else:
+            n = doc.get("n")
+            protocol = doc.get("protocol")
+            if (n is not None and n != live.n) or (
+                protocol is not None and protocol != live.protocol_name
+            ):
+                return wire.error_reply(
+                    seq,
+                    "session_mismatch",
+                    f"session {session_id!r} is n={live.n} "
+                    f"protocol={live.protocol_name}",
+                )
+        self._touch(session_id)
+        return {
+            "ok": True,
+            "seq": seq,
+            "session": session_id,
+            "n": live.n,
+            "protocol": live.protocol_name,
+            "resumed": resumed,
+            "events": len(live.ingest_log),
+        }
+
+    def _resolve(self, session_id: str) -> ServeSession:
+        session = self.sessions.get(session_id)
+        if session is not None:
+            return session
+        if session_id in self.store:
+            return self._restore(session_id)
+        raise SessionError(
+            f"unknown session {session_id!r}; send a hello frame first"
+        )
+
+    def _restore(self, session_id: str) -> ServeSession:
+        doc = self.store.pop(session_id)
+        assert doc is not None
+        session = restore_session(doc, metrics=self.metrics)
+        self.sessions[session_id] = session
+        self._trace(
+            "serve.restore", session=session_id, events=len(session.ingest_log)
+        )
+        if self.metrics is not None:
+            self.metrics.inc("serve.restores")
+        self._gauge_sessions()
+        return session
+
+    # ------------------------------------------------------------------
+    # idle eviction
+    # ------------------------------------------------------------------
+    def _touch(self, session_id: str) -> None:
+        # Only worth bookkeeping when eviction can actually happen.
+        if self.config.idle_timeout is not None:
+            self._activity[session_id] = asyncio.get_event_loop().time()
+
+    async def _housekeep(self) -> None:
+        assert self.config.idle_timeout is not None
+        interval = self.config.idle_timeout / 2
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_event_loop().time()
+            for session_id in list(self.sessions):
+                last = self._activity.get(session_id, now)
+                if now - last < self.config.idle_timeout:
+                    continue
+                queue = self._queues[self._shard_of(session_id)]
+                try:
+                    # Routed through the shard so eviction serialises
+                    # with in-flight operations of the same session.
+                    queue.put_nowait(({"session": session_id}, None))
+                except asyncio.QueueFull:
+                    continue  # busy shard: not idle enough to matter
+
+    def _evict_if_idle(self, session_id: str) -> None:
+        session = self.sessions.get(session_id)
+        if session is None:
+            return
+        now = asyncio.get_event_loop().time()
+        last = self._activity.get(session_id, now)
+        if (
+            self.config.idle_timeout is None
+            or now - last < self.config.idle_timeout
+        ):
+            return
+        self.store.save(session)
+        del self.sessions[session_id]
+        self._activity.pop(session_id, None)
+        self._trace(
+            "serve.evict", session=session_id, events=len(session.ingest_log)
+        )
+        if self.metrics is not None:
+            self.metrics.inc("serve.evictions")
+        self._gauge_sessions()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else (
+            "stopping" if self._stopping else
+            ("listening" if self._server else "new")
+        )
+        return (
+            f"<CheckpointServer {state} sessions={len(self.sessions)} "
+            f"workers={self.config.workers}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# thread-hosted server (the sync facade behind ``repro.api.serve``)
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A daemon running on its own event-loop thread.
+
+    The handle is a context manager: ``with api.serve() as handle``
+    guarantees a graceful drain on exit.  ``handle.address`` is ready
+    as soon as the constructor returns.
+    """
+
+    def __init__(self, server: CheckpointServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise SimulationError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._started.is_set():
+            raise SimulationError("server failed to start within 10s")
+        self.summary: Dict[str, int] = {}
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+        self._loop.close()
+
+    @property
+    def address(self) -> Address:
+        return self.server.address
+
+    def connect_address(self) -> str:
+        """The address in the textual form the clients parse."""
+        if self.address[0] == "unix":
+            return f"unix:{self.address[1]}"
+        return f"{self.address[1]}:{self.address[2]}"
+
+    def close(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Gracefully drain and stop; returns per-session event counts."""
+        if not self._thread.is_alive():
+            return self.summary
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        self.summary = future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        return self.summary
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<ServerHandle {self.connect_address()} {self.server!r}>"
+
+
+def serve_in_thread(
+    config: Optional[ServerConfig] = None,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+) -> ServerHandle:
+    """Start a daemon on a background thread; returns its handle."""
+    return ServerHandle(CheckpointServer(config, tracer=tracer, metrics=metrics))

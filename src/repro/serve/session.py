@@ -1,0 +1,379 @@
+"""One live session: a distributed computation observed over the wire.
+
+A :class:`ServeSession` is the server-side state of one client
+computation of ``n`` processes checkpointing under one registry
+protocol.  It is the *online* composition of three layers that already
+exist offline:
+
+* a :class:`~repro.core.protocol.ProtocolFamily` -- the CIC sidecar:
+  every ``send`` mints the piggyback, every ``deliver`` evaluates the
+  forcing predicate and replies ``force_checkpoint`` (the paper's
+  visible, on-line decision);
+* a :class:`~repro.recovery.manager.RecoveryManager` (which owns the
+  live :class:`~repro.graph.incremental.IncrementalRGraph`), so
+  ``rdt_status`` / ``z_cycles`` / ``recovery_line`` queries answer from
+  incrementally-maintained closure state in O(update), never O(replay);
+* an append-only **ingest log** of every accepted operation.
+
+The ingest log is the session's source of truth and its differential
+contract: :func:`offline_answers` replays a recorded log through a
+fresh session and must produce *byte-identical* canonical-JSON answers
+to the live session's -- ``tests/test_serve_differential.py`` holds
+every server to that, across eviction/restore cycles.
+
+Sessions are single-threaded by construction (the server shards each
+session onto exactly one worker), so no locking appears here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.piggyback import Piggyback
+from repro.core.registry import PROTOCOLS, make_family
+from repro.events.event import Message
+from repro.obs.jsonio import jsonable
+from repro.recovery.manager import RecoveryManager
+from repro.types import ReproError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+
+class SessionError(ReproError):
+    """An ingest or query operation was invalid for the session state."""
+
+
+#: Query kinds ``query`` understands.
+QUERIES = ("rdt_status", "z_cycles", "recovery_line", "metrics")
+
+#: Ingest operation kinds (the ones that mutate state and are logged).
+INGEST_OPS = ("checkpoint", "send", "deliver")
+
+
+#: Field-name tuples per piggyback type (``dataclasses.fields`` per
+#: send showed up in the ingest profile).
+_PB_FIELDS: Dict[type, tuple] = {}
+
+
+def _pb_field(value: object) -> object:
+    """Like :func:`jsonable` but with the piggyback shapes fast-pathed.
+
+    Piggyback fields are ints, tuples of ints (vectors) or tuples of
+    tuples of ints (the BHMR causal matrix); generic recursion over the
+    matrix was the single hottest line of a send.  Output is identical
+    to ``jsonable`` for these shapes, and anything else falls through
+    to it.
+    """
+    if isinstance(value, tuple):
+        if value and type(value[0]) is tuple:
+            return [list(row) for row in value]
+        if all(type(v) is int or type(v) is bool for v in value):
+            return list(value)
+    elif type(value) is int or type(value) is bool:
+        return value
+    return jsonable(value)
+
+
+def _pb_doc(pb: Piggyback) -> Dict[str, object]:
+    """The piggyback as a JSON-safe document (type, bit size, fields).
+
+    Field-by-field conversion instead of ``dataclasses.asdict``: the
+    latter deep-copies every nested tuple (the BHMR causal matrix is
+    n*n of them) and dominated the ingest profile.
+    """
+    cls = type(pb)
+    names = _PB_FIELDS.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(pb))
+        _PB_FIELDS[cls] = names
+    return {
+        "type": cls.__name__,
+        "bits": pb.size_bits(),
+        "data": {name: _pb_field(getattr(pb, name)) for name in names},
+    }
+
+
+class ServeSession:
+    """Live state of one served computation.
+
+    Parameters
+    ----------
+    session_id:
+        The client-chosen name; opaque to the server beyond sharding.
+    n:
+        Number of processes of the computation.
+    protocol:
+        Registry name of the CIC protocol run as the sidecar.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        n: int,
+        protocol: str,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise SimulationError(f"unknown protocol {protocol!r}; known: {known}")
+        if not isinstance(n, int) or n <= 0:
+            raise SimulationError(f"a session needs n >= 1 processes, got {n!r}")
+        self.session_id = session_id
+        self.n = n
+        self.protocol_name = protocol
+        self.family = make_family(protocol, n)
+        self.manager = RecoveryManager(n, tracer=tracer, metrics=metrics)
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Every accepted ingest op, in order -- the recorded stream.
+        self.ingest_log: List[Dict[str, object]] = []
+        self._messages: Dict[int, Message] = {}
+        self._piggybacks: Dict[int, Piggyback] = {}
+        self._delivered: set = set()
+        self._next_msg_id = 0
+        self.forced_total = 0
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """The logical ingest clock: ops so far (stamps graph events)."""
+        return float(len(self.ingest_log))
+
+    def apply(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """Apply one ingest operation; returns the reply body.
+
+        ``doc`` needs ``kind`` plus the op's fields (``pid`` for
+        checkpoint, ``src``/``dst`` for send, ``msg_id`` for deliver).
+        Every reply carries the protocol's online decision:
+        ``force_checkpoint`` plus the piggyback payload.
+        """
+        kind = doc.get("kind")
+        if kind == "checkpoint":
+            return self._apply_checkpoint(doc)
+        if kind == "send":
+            return self._apply_send(doc)
+        if kind == "deliver":
+            return self._apply_deliver(doc)
+        raise SessionError(
+            f"unknown ingest op {kind!r}; known: {', '.join(INGEST_OPS)}"
+        )
+
+    def _pid(self, doc: Dict[str, object], field: str) -> int:
+        pid = doc.get(field)
+        if not isinstance(pid, int) or not 0 <= pid < self.n:
+            raise SessionError(f"{field}={pid!r} out of range for n={self.n}")
+        return pid
+
+    def _take(self, pid: int, forced: bool, t: float) -> int:
+        """Record one checkpoint in both the manager and the protocol."""
+        index = self.manager.last_taken(pid) + 1
+        self.manager.on_checkpoint(pid, index, t)
+        self.family[pid].on_checkpoint(forced=forced)
+        if forced:
+            self.forced_total += 1
+        return index
+
+    def _apply_checkpoint(self, doc: Dict[str, object]) -> Dict[str, object]:
+        pid = self._pid(doc, "pid")
+        t = self.clock
+        self.ingest_log.append({"kind": "checkpoint", "pid": pid})
+        index = self._take(pid, forced=False, t=t)
+        return {
+            "ok": True,
+            "index": index,
+            "force_checkpoint": False,
+            "piggyback": {"tdv": list(self.family[pid].tdv)},
+        }
+
+    def _apply_send(self, doc: Dict[str, object]) -> Dict[str, object]:
+        src = self._pid(doc, "src")
+        dst = self._pid(doc, "dst")
+        if src == dst:
+            raise SessionError(f"send src == dst == {src}")
+        t = self.clock
+        self.ingest_log.append({"kind": "send", "src": src, "dst": dst})
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        pb = self.family[src].on_send(dst)
+        message = Message(
+            msg_id=msg_id, src=src, dst=dst, send_seq=len(self.ingest_log) - 1
+        )
+        self._messages[msg_id] = message
+        self._piggybacks[msg_id] = pb
+        self.manager.on_send(message, t)
+        forced_index: Optional[int] = None
+        if self.family[src].wants_checkpoint_after_send():
+            forced_index = self._take(src, forced=True, t=t)
+        return {
+            "ok": True,
+            "msg_id": msg_id,
+            "force_checkpoint": forced_index is not None,
+            "forced_index": forced_index,
+            "piggyback": _pb_doc(pb),
+        }
+
+    def _apply_deliver(self, doc: Dict[str, object]) -> Dict[str, object]:
+        msg_id = doc.get("msg_id")
+        message = self._messages.get(msg_id)  # type: ignore[arg-type]
+        if message is None:
+            raise SessionError(f"deliver of unknown msg_id {msg_id!r}")
+        if msg_id in self._delivered:
+            raise SessionError(f"message m{msg_id} delivered twice")
+        t = self.clock
+        self.ingest_log.append({"kind": "deliver", "msg_id": int(msg_id)})  # type: ignore[arg-type]
+        self._delivered.add(msg_id)
+        pb = self._piggybacks[msg_id]  # type: ignore[index]
+        proto = self.family[message.dst]
+        forced = proto.wants_forced_checkpoint(pb, message.src)
+        forced_index: Optional[int] = None
+        if forced:
+            forced_index = self._take(message.dst, forced=True, t=t)
+        proto.on_receive(pb, message.src)
+        self.manager.on_deliver(message, t)
+        return {
+            "ok": True,
+            "msg_id": int(msg_id),  # type: ignore[arg-type]
+            "force_checkpoint": forced,
+            "forced_index": forced_index,
+            "piggyback": {"tdv": list(proto.tdv)},
+        }
+
+    # ------------------------------------------------------------------
+    # queries (read-only, never logged)
+    # ------------------------------------------------------------------
+    def query(self, what: str, **params: object) -> Dict[str, object]:
+        """Answer one analysis query from live incremental state."""
+        if what == "rdt_status":
+            answer = self._query_rdt_status()
+        elif what == "z_cycles":
+            answer = self._query_z_cycles()
+        elif what == "recovery_line":
+            answer = self._query_recovery_line(params.get("crashed"))
+        elif what == "metrics":
+            answer = self._query_metrics()
+        else:
+            raise SessionError(
+                f"unknown query {what!r}; known: {', '.join(QUERIES)}"
+            )
+        self.queries_answered += 1
+        return answer
+
+    def _query_rdt_status(self) -> Dict[str, object]:
+        rgraph = self.manager.rgraph
+        useless = rgraph.useless_checkpoints()
+        return {
+            "events": len(self.ingest_log),
+            "n": self.n,
+            "protocol": self.protocol_name,
+            "ensures_rdt": PROTOCOLS[self.protocol_name].ensures_rdt,
+            "last_index": [self.manager.last_taken(p) for p in range(self.n)],
+            "forced": self.forced_total,
+            "z_cycle_free": not rgraph.has_z_cycle(),
+            "useless": [[cid.pid, cid.index] for cid in useless],
+        }
+
+    def _query_z_cycles(self) -> Dict[str, object]:
+        cycles = self.manager.rgraph.cycles()
+        return {
+            "count": len(cycles),
+            "cycles": [
+                [[cid.pid, cid.index] for cid in comp] for comp in cycles
+            ],
+        }
+
+    def _query_recovery_line(
+        self, crashed: object
+    ) -> Dict[str, object]:
+        if crashed is None:
+            pids: Sequence[int] = range(self.n)
+        elif isinstance(crashed, (list, tuple)) and all(
+            isinstance(p, int) and 0 <= p < self.n for p in crashed
+        ):
+            pids = sorted(set(crashed))
+        else:
+            raise SessionError(
+                f"crashed={crashed!r} must be a list of pids < {self.n}"
+            )
+        cut = self.manager.online_recovery_line(pids)
+        plan = self.manager.replay_plan_ids(cut)
+        return {
+            "crashed": sorted(pids),
+            "cut": [cut[p] for p in range(self.n)],
+            "to_replay": len(plan),
+            "logged": sum(len(log) for log in self.manager.logs.values()),
+        }
+
+    def _query_metrics(self) -> Dict[str, object]:
+        log = self.ingest_log
+        return {
+            "events": len(log),
+            "checkpoints": sum(1 for op in log if op["kind"] == "checkpoint")
+            + self.forced_total,
+            "sends": sum(1 for op in log if op["kind"] == "send"),
+            "delivers": sum(1 for op in log if op["kind"] == "deliver"),
+            "forced": self.forced_total,
+            "closure_nodes": self.manager.rgraph.num_nodes(),
+            "closure_edges": self.manager.rgraph.num_edges(),
+            "queries": self.queries_answered,
+        }
+
+    # ------------------------------------------------------------------
+    # replay / restore
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay_log(
+        cls,
+        session_id: str,
+        n: int,
+        protocol: str,
+        log: Sequence[Dict[str, object]],
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> "ServeSession":
+        """A fresh session fed the recorded ingest stream, op by op.
+
+        Deliver ops in a recorded log name server-assigned message ids;
+        replay re-mints them in the same order, so ids line up by
+        construction.
+        """
+        session = cls(session_id, n, protocol, tracer=tracer, metrics=metrics)
+        for op in log:
+            session.apply(dict(op))
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServeSession {self.session_id!r} n={self.n} "
+            f"protocol={self.protocol_name} events={len(self.ingest_log)}>"
+        )
+
+
+def offline_answers(
+    session_id: str,
+    n: int,
+    protocol: str,
+    log: Sequence[Dict[str, object]],
+    crashed: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Offline analysis of a recorded ingest stream.
+
+    Replays ``log`` through a fresh session and returns the three
+    paper-level verdicts.  The differential guarantee of the serve
+    subsystem: for any live session, these answers are byte-identical
+    (canonical JSON) to the ones the server gave online.
+    """
+    session = ServeSession.replay_log(session_id, n, protocol, log)
+    return {
+        "rdt_status": session.query("rdt_status"),
+        "z_cycles": session.query("z_cycles"),
+        "recovery_line": session.query(
+            "recovery_line", crashed=list(crashed) if crashed is not None else None
+        ),
+    }

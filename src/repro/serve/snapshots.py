@@ -1,0 +1,147 @@
+"""Session snapshot/restore: how idle sessions leave and re-enter RAM.
+
+A snapshot is one canonical-JSON document: the session's identity, its
+recorded ingest log, and an integrity digest of the live
+:meth:`RecoveryManager.state() <repro.recovery.manager.RecoveryManager.state>`
+at snapshot time.  Restore replays the log through a fresh session --
+the ingest stream is the source of truth, and replay is deterministic
+by construction -- then recomputes the digest and refuses to resume a
+session whose rebuilt state does not match bit for bit.  That check is
+what turns "replay should be deterministic" from a hope into an
+enforced invariant at every eviction/restore cycle.
+
+The store itself is either in-memory (the default: eviction frees the
+live closure bitsets, protocol matrices and sender logs, keeping only
+the compact log) or directory-backed (one ``<session>.json`` per
+snapshot), so a server can survive a restart with its sessions intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
+
+from repro.obs.jsonio import canonical_bytes, canonical_dumps
+from repro.serve.session import ServeSession
+from repro.types import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+
+def state_digest(session: ServeSession) -> str:
+    """SHA-256 over the canonical manager state (the replay invariant)."""
+    return hashlib.sha256(canonical_bytes(session.manager.state())).hexdigest()
+
+
+def snapshot_doc(session: ServeSession) -> Dict[str, object]:
+    """The session as one canonical-JSON-safe snapshot document."""
+    return {
+        "version": 1,
+        "session": session.session_id,
+        "n": session.n,
+        "protocol": session.protocol_name,
+        "events": len(session.ingest_log),
+        "log": [dict(op) for op in session.ingest_log],
+        "digest": state_digest(session),
+    }
+
+
+def restore_session(
+    doc: Dict[str, object],
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+) -> ServeSession:
+    """Rebuild a live session from a snapshot document.
+
+    Raises :class:`SimulationError` if the replayed state's digest does
+    not match the snapshot's (a nondeterminism bug upstream, or a
+    corrupted snapshot) -- resuming silently from diverged state is the
+    one failure mode this layer must never allow.
+    """
+    session = ServeSession.replay_log(
+        str(doc["session"]),
+        int(doc["n"]),  # type: ignore[arg-type]
+        str(doc["protocol"]),
+        doc["log"],  # type: ignore[arg-type]
+        tracer=tracer,
+        metrics=metrics,
+    )
+    rebuilt = state_digest(session)
+    if rebuilt != doc["digest"]:
+        raise SimulationError(
+            f"snapshot of session {doc['session']!r} failed integrity check: "
+            f"replayed digest {rebuilt[:12]} != stored {str(doc['digest'])[:12]}"
+        )
+    return session
+
+
+class SnapshotStore:
+    """Keyed snapshot storage, in-memory or directory-backed."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._docs: Dict[str, Dict[str, object]] = {}
+
+    def _path(self, session_id: str) -> Path:
+        assert self._directory is not None
+        safe = "".join(
+            c if c.isalnum() or c in "-_." else "_" for c in session_id
+        )
+        return self._directory / f"{safe}.json"
+
+    def save(self, session: ServeSession) -> Dict[str, object]:
+        doc = snapshot_doc(session)
+        if self._directory is not None:
+            self._path(session.session_id).write_text(
+                canonical_dumps(doc), encoding="utf-8"
+            )
+        else:
+            self._docs[session.session_id] = doc
+        return doc
+
+    def load(self, session_id: str) -> Optional[Dict[str, object]]:
+        if self._directory is not None:
+            path = self._path(session_id)
+            if not path.exists():
+                return None
+            import json
+
+            return json.loads(path.read_text(encoding="utf-8"))
+        return self._docs.get(session_id)
+
+    def pop(self, session_id: str) -> Optional[Dict[str, object]]:
+        """Load and forget (a restored session owns its state again)."""
+        doc = self.load(session_id)
+        if doc is not None:
+            self.discard(session_id)
+        return doc
+
+    def discard(self, session_id: str) -> None:
+        if self._directory is not None:
+            path = self._path(session_id)
+            if path.exists():
+                path.unlink()
+        else:
+            self._docs.pop(session_id, None)
+
+    def known(self) -> List[str]:
+        if self._directory is not None:
+            import json
+
+            return sorted(
+                str(json.loads(p.read_text(encoding="utf-8"))["session"])
+                for p in self._directory.glob("*.json")
+            )
+        return sorted(self._docs)
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.load(session_id) is not None
+
+    def __repr__(self) -> str:
+        where = self._directory or "memory"
+        return f"<SnapshotStore {where} sessions={len(self.known())}>"

@@ -1,0 +1,181 @@
+"""The wire protocol: length-prefixed canonical-JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 canonical JSON (:mod:`repro.obs.jsonio` --
+sorted keys, no whitespace), so equal documents encode to equal bytes
+in both directions and a recorded conversation is diffable.
+
+Requests are objects with at least ``kind`` (one of :data:`KINDS`) and
+a client-chosen ``seq`` echoed verbatim in the reply, which is what
+makes pipelining safe: a client may write any number of frames before
+reading, and match replies to requests by ``seq``.  Ingest replies
+(``checkpoint``/``send``/``deliver``) always carry the protocol's
+online decision -- ``force_checkpoint: bool`` plus the piggyback
+payload -- so a client can run BHMR/FDAS as a sidecar without holding
+any protocol state of its own.
+
+The codec is sans-IO at its core (:class:`FrameBuffer` turns byte
+chunks into documents) with thin adapters for asyncio streams
+(:func:`read_frame` / :func:`write_frame`) and blocking sockets
+(:func:`recv_frame` / :func:`send_frame`); client and server share it,
+so neither can drift from the other.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs.jsonio import canonical_bytes
+
+#: Request kinds understood by the server.
+KINDS = ("hello", "checkpoint", "send", "deliver", "query", "snapshot", "bye")
+
+#: Hard ceiling on one frame's payload size (1 MiB): a malformed or
+#: hostile length prefix must not make the server allocate unbounded
+#: memory.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(Exception):
+    """A frame violated the wire protocol (length, encoding or JSON)."""
+
+
+def encode_frame(doc: object) -> bytes:
+    """One document as its unique on-the-wire byte string."""
+    payload = canonical_bytes(doc)
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, object]:
+    """Decode one frame payload (the bytes *after* the length prefix)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(doc, dict):
+        raise FrameError(f"frame payload must be an object, got {type(doc).__name__}")
+    return doc
+
+
+class FrameBuffer:
+    """Sans-IO frame reassembly: feed byte chunks, pop documents.
+
+    The buffer owns no socket and never blocks, which lets one
+    implementation serve asyncio readers, blocking sockets and tests
+    alike.  Completed documents queue inside the buffer (pipelined
+    peers may complete several per chunk); :meth:`next_doc` hands them
+    out in arrival order.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0  # consumed prefix of _buf (compacted per feed)
+        self._docs: deque = deque()
+
+    def feed(self, data: bytes) -> List[Dict[str, object]]:
+        """Absorb ``data``; return every frame it completed, in order.
+
+        The returned documents are *also* queued for :meth:`next_doc`;
+        use one style or the other, not both.
+        """
+        # Compact once per chunk, not once per frame: a 64 KiB chunk of
+        # small frames would otherwise memmove the tail per frame.
+        if self._pos:
+            del self._buf[: self._pos]
+            self._pos = 0
+        self._buf.extend(data)
+        out: List[Dict[str, object]] = []
+        while True:
+            doc = self._pop()
+            if doc is None:
+                self._docs.extend(out)
+                return out
+            out.append(doc)
+
+    def next_doc(self) -> Optional[Dict[str, object]]:
+        """The oldest queued document, or None if none is complete."""
+        return self._docs.popleft() if self._docs else None
+
+    def _pop(self) -> Optional[Dict[str, object]]:
+        buf, pos = self._buf, self._pos
+        if len(buf) - pos < _LEN.size:
+            return None
+        (length,) = _LEN.unpack_from(buf, pos)
+        if length > MAX_FRAME:
+            raise FrameError(f"frame length {length} exceeds {MAX_FRAME}")
+        start = pos + _LEN.size
+        if len(buf) - start < length:
+            return None
+        payload = bytes(buf[start : start + length])
+        self._pos = start + length
+        return decode_frame(payload)
+
+    def pending(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf) - self._pos
+
+
+# ----------------------------------------------------------------------
+# asyncio stream adapters
+# ----------------------------------------------------------------------
+async def read_frame(reader) -> Optional[Dict[str, object]]:
+    """Read one frame from an ``asyncio.StreamReader``; None at EOF.
+
+    EOF mid-frame (a peer that died between prefix and payload) raises
+    :class:`FrameError` -- silence is only legal on a frame boundary.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed inside a frame prefix") from None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed inside a frame payload") from None
+    return decode_frame(payload)
+
+
+async def write_frame(writer, doc: object) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(doc))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking socket adapters (the sync client)
+# ----------------------------------------------------------------------
+def send_frame(sock, doc: object) -> None:
+    sock.sendall(encode_frame(doc))
+
+
+def recv_frame(sock, buffer: FrameBuffer) -> Optional[Dict[str, object]]:
+    """Read one frame from a blocking socket via ``buffer``; None at EOF."""
+    while True:
+        doc = buffer.next_doc()
+        if doc is not None:
+            return doc
+        data = sock.recv(65536)
+        if not data:
+            if buffer.pending():
+                raise FrameError("connection closed inside a frame")
+            return None
+        buffer.feed(data)
+
+
+def error_reply(seq: object, code: str, detail: str) -> Dict[str, object]:
+    """The uniform failure reply."""
+    return {"ok": False, "seq": seq, "error": code, "detail": detail}

@@ -15,6 +15,8 @@ from repro.workloads.base import Workload, WorkloadContext
 
 
 class BurstyWorkload(Workload):
+    """On/off bursts toward a per-burst hot partner."""
+
     def __init__(
         self,
         burst_length: int = 5,

@@ -16,6 +16,8 @@ from repro.workloads.base import Workload, WorkloadContext
 
 
 class MasterWorkerWorkload(Workload):
+    """P0 dispatches work items; workers service and reply."""
+
     def __init__(self, service_time: float = 1.0, dispatch_time: float = 0.05):
         self.service_time = service_time
         self.dispatch_time = dispatch_time

@@ -9,6 +9,10 @@ gate can be selected either way:
     pytest                   # everything (the default, and the CI gate)
 """
 
+import hypothesis  # noqa: F401  (eager: the hypothesis pytest plugin's lazy
+# import at terminal-summary time trips a CPython 3.11 "AST constructor
+# recursion depth mismatch" SystemError when first parsed that deep in the
+# pluggy hook stack; importing here keeps selective test runs green)
 import pytest
 
 

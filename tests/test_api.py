@@ -178,3 +178,40 @@ class TestRunnerStatsSerialization:
         again = RunnerStats.from_dict(stats.to_dict())
         assert again.to_dict() == stats.to_dict()
         assert again.cells_run == 3
+
+
+class TestErrorPaths:
+    """Bad registry keys fail loudly: the message names the bad key and
+    lists what the registry actually knows, so a typo is self-serviced."""
+
+    def test_unknown_workload_message_lists_registry(self):
+        from repro import WORKLOADS
+
+        with pytest.raises(SimulationError) as err:
+            api.run(workload="ringg", n=3, duration=10.0)
+        message = str(err.value)
+        assert "'ringg'" in message
+        for name in WORKLOADS:
+            assert name in message
+
+    def test_unknown_protocol_message_lists_registry(self):
+        from repro import PROTOCOLS
+
+        with pytest.raises(SimulationError) as err:
+            api.run(protocol="bmhr", n=3, duration=10.0)
+        message = str(err.value)
+        assert "'bmhr'" in message
+        for name in PROTOCOLS:
+            assert name in message
+
+    def test_sweep_validates_protocols_before_simulating(self):
+        with pytest.raises(SimulationError, match="unknown protocol 'nope'"):
+            api.sweep(xs=[0.1], protocols=["nope"], n=3, duration=10.0)
+
+    def test_connect_dead_socket_raises_connection_error(self, tmp_path):
+        import time
+
+        started = time.monotonic()
+        with pytest.raises(ConnectionError, match="cannot connect"):
+            api.connect(f"unix:{tmp_path}/gone.sock", timeout=2.0)
+        assert time.monotonic() - started < 5.0

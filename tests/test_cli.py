@@ -229,3 +229,99 @@ class TestObsFlags:
         assert json.loads(cold)["sweep"]["comparisons"] == \
             json.loads(warm)["sweep"]["comparisons"]
         assert json.loads(warm)["sweep"]["stats"]["cache_hits"] == 1
+
+
+class TestRegistriesJson:
+    """The --json listings: complete, canonical, machine-readable."""
+
+    def test_protocols_json(self, capsys):
+        from repro import PROTOCOLS
+
+        code, out = run_cli(capsys, "protocols", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["command"] == "protocols"
+        entries = doc["protocols"]
+        assert {e["name"] for e in entries} == set(PROTOCOLS)
+        for entry in entries:
+            assert set(entry) == {
+                "name", "class", "doc", "ensures_rdt", "carries_tdv", "family",
+            }
+            assert entry["doc"], f"{entry['name']} has no doc line"
+            assert entry["family"] in ("rdt", "baseline")
+            assert isinstance(entry["ensures_rdt"], bool)
+
+    def test_workloads_json(self, capsys):
+        from repro import WORKLOADS
+
+        code, out = run_cli(capsys, "workloads", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["command"] == "workloads"
+        entries = doc["workloads"]
+        assert {e["name"] for e in entries} == set(WORKLOADS)
+        for entry in entries:
+            assert set(entry) == {"name", "class", "doc"}
+            assert entry["doc"], f"{entry['name']} has no doc line"
+
+    def test_json_output_is_canonical(self, capsys):
+        # Stable byte-for-byte across invocations: sorted keys, no noise.
+        _, first = run_cli(capsys, "protocols", "--json")
+        _, again = run_cli(capsys, "protocols", "--json")
+        assert first == again
+        assert json.dumps(json.loads(first), sort_keys=True,
+                          separators=(",", ":")) + "\n" == first
+
+
+class TestServiceVerbs:
+    """repro serve / client / loadgen wired through the CLI."""
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        from repro.serve.server import ServerConfig, serve_in_thread
+
+        config = ServerConfig(unix_path=str(tmp_path / "cli.sock"))
+        with serve_in_thread(config) as handle:
+            yield handle
+
+    def test_client_roundtrip(self, capsys, service):
+        addr = service.connect_address()
+        code, out = run_cli(
+            capsys, "client", addr, "hello", "--session", "s", "-n", "2"
+        )
+        assert code == 0
+        assert json.loads(out)["ok"] is True
+        code, out = run_cli(
+            capsys, "client", addr, "checkpoint", "--session", "s", "--pid", "0"
+        )
+        assert json.loads(out)["index"] == 1
+        code, out = run_cli(
+            capsys, "client", addr, "query", "--session", "s",
+            "--what", "metrics",
+        )
+        assert json.loads(out)["checkpoints"] == 1
+
+    def test_client_requires_session(self, service):
+        with pytest.raises(SystemExit):
+            main(["client", service.connect_address(), "hello"])
+
+    def test_client_dead_endpoint_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot connect"):
+            main([
+                "client", f"unix:{tmp_path}/nobody.sock", "hello",
+                "--session", "s", "--timeout", "2",
+            ])
+
+    def test_loadgen_json(self, capsys, service):
+        code, out = run_cli(
+            capsys, "loadgen", service.connect_address(), "--json",
+            "--sessions", "2", "-n", "3", "--duration", "10",
+            "--window", "16", "--query-every", "20",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["command"] == "loadgen"
+        load = doc["load"]
+        assert load["errors"] == 0 and load["shed"] == 0
+        assert load["acked"] > 0 and load["queries"] > 0
+        assert load["acked"] == sum(load["per_session"].values())

@@ -80,3 +80,66 @@ def test_allows_seeded_and_instance_idioms(linter):
 def test_cli_entrypoint_passes_on_src(linter, capsys):
     assert linter.main([str(SRC_ROOT)]) == 0
     assert capsys.readouterr().out == ""
+
+
+def test_flags_time_sleep_in_async_def(linter):
+    source = (
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(1)\n"
+    )
+    assert _codes(linter, source) == ["async:time.sleep"]
+
+
+def test_flags_blocking_socket_methods_in_async_def(linter):
+    source = (
+        "async def pump(sock):\n"
+        "    data = sock.recv(4096)\n"
+        "    sock.sendall(data)\n"
+    )
+    assert _codes(linter, source) == ["async:.recv", "async:.sendall"]
+
+
+def test_flags_self_attribute_socket_calls(linter):
+    source = (
+        "async def pump(self):\n"
+        "    return self._sock.recv(4096)\n"
+    )
+    assert _codes(linter, source) == ["async:.recv"]
+
+
+def test_awaited_calls_are_not_blocking(linter):
+    source = (
+        "async def pump(conn):\n"
+        "    return await conn.recv()\n"
+    )
+    assert _codes(linter, source) == []
+
+
+def test_asyncio_sleep_is_clean(linter):
+    source = (
+        "import asyncio\n"
+        "async def tick():\n"
+        "    await asyncio.sleep(1)\n"
+    )
+    assert _codes(linter, source) == []
+
+
+def test_sync_def_may_sleep_and_recv(linter):
+    source = (
+        "import time\n"
+        "def pump(sock):\n"
+        "    time.sleep(0.1)\n"
+        "    return sock.recv(4096)\n"
+    )
+    assert _codes(linter, source) == []
+
+
+def test_sync_helper_nested_in_async_def_is_flagged(linter):
+    source = (
+        "async def outer(sock):\n"
+        "    def helper():\n"
+        "        return sock.recv(1)\n"
+        "    return helper()\n"
+    )
+    assert _codes(linter, source) == ["async:.recv"]

@@ -1,0 +1,68 @@
+"""Client-side plumbing: address parsing, error mapping, dead sockets."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.serve.client import AsyncClient, Client, ReplyError, parse_address
+from repro.types import ReproError
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.1:7463") == ("tcp", "10.0.0.1", 7463)
+
+    def test_bare_port_defaults_host(self):
+        assert parse_address(":7463") == ("tcp", "127.0.0.1", 7463)
+
+    def test_unix_path(self):
+        assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_tuples_pass_through(self):
+        assert parse_address(("tcp", "h", 1)) == ("tcp", "h", 1)
+        assert parse_address(("unix", "/p")) == ("unix", "/p")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "no-port", "host:notaport", "unix:", ("weird", 1)]
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestReplyError:
+    def test_carries_code_and_detail(self):
+        err = ReplyError("overloaded", "queue full")
+        assert err.code == "overloaded"
+        assert err.detail == "queue full"
+        assert isinstance(err, ReproError)
+        assert "overloaded" in str(err)
+
+
+class TestDeadSocket:
+    """api error-path satellite: a dead endpoint is a clean, fast error."""
+
+    def test_sync_client_unix_connection_error(self, tmp_path):
+        with pytest.raises(ConnectionError, match="cannot connect"):
+            Client(f"unix:{tmp_path}/nobody-home.sock", timeout=2.0)
+
+    def test_sync_client_tcp_connection_refused(self, free_tcp_port):
+        with pytest.raises(ConnectionError):
+            Client(f"127.0.0.1:{free_tcp_port}", timeout=2.0)
+
+    def test_async_client_connection_error(self, tmp_path):
+        async def attempt():
+            await AsyncClient.connect(f"unix:{tmp_path}/gone.sock", timeout=2.0)
+
+        with pytest.raises(ConnectionError, match="cannot connect"):
+            asyncio.run(attempt())
+
+
+@pytest.fixture
+def free_tcp_port():
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

@@ -1,0 +1,94 @@
+"""Online/offline differential: the service adds no analysis of its own.
+
+Each cell generates a workload trace, streams it through a *live*
+server over the wire protocol, then replays the server's own captured
+ingest log offline (``offline_answers``).  The online query replies
+must be byte-identical (canonical JSON) to the offline verdicts --
+RDT status, Z-cycles and the recovery line all come from one engine,
+whether it runs under the daemon or in a batch script.
+"""
+
+import random
+
+import pytest
+
+from repro.core.registry import PROTOCOLS
+from repro.obs.jsonio import canonical_dumps
+from repro.serve.client import Client
+from repro.serve.server import ServerConfig, serve_in_thread
+from repro.serve.session import offline_answers
+from repro.sim.generate import generate_trace
+from repro.sim.trace import TraceOpKind
+from repro.workloads import WORKLOADS
+
+N = 3
+CELLS = 20
+
+# A seeded sample of the full workload x protocol grid: deterministic
+# for the suite, yet spread across both registries.
+_rng = random.Random(0xD1FF)
+_GRID = sorted(
+    (w, p) for w in WORKLOADS for p in PROTOCOLS
+)
+CELL_PARAMS = [
+    (w, p, _rng.randrange(1 << 16))
+    for w, p in _rng.sample(_GRID, CELLS)
+]
+
+
+@pytest.fixture(scope="module")
+def handle(tmp_path_factory):
+    sock = tmp_path_factory.mktemp("diff") / "diff.sock"
+    with serve_in_thread(ServerConfig(unix_path=str(sock), workers=3)) as h:
+        yield h
+
+
+def drive_trace(client, session_id, protocol, trace):
+    """Stream one generated trace through the live server, one frame at
+    a time; delivers use the msg_id the *server* assigned to the send."""
+    client.hello(session_id, n=trace.n, protocol=protocol)
+    sent = {}
+    for op in trace.ops:
+        if op.kind is TraceOpKind.BASIC_CHECKPOINT:
+            client.checkpoint(session_id, pid=op.pid)
+        elif op.kind is TraceOpKind.SEND:
+            reply = client.send(session_id, src=op.pid, dst=op.peer)
+            sent[op.msg_id] = reply["msg_id"]
+        else:
+            client.deliver(session_id, msg_id=sent[op.msg_id])
+
+
+@pytest.mark.parametrize(
+    "workload,protocol,seed",
+    CELL_PARAMS,
+    ids=[f"{w}-{p}-{s}" for w, p, s in CELL_PARAMS],
+)
+def test_online_equals_offline(handle, workload, protocol, seed):
+    trace = generate_trace(
+        N, WORKLOADS[workload](), duration=12.0, seed=seed, basic_rate=0.2
+    )
+    session_id = f"diff-{workload}-{protocol}-{seed}"
+    crashed = [seed % N]
+    with Client(handle.connect_address()) as client:
+        drive_trace(client, session_id, protocol, trace)
+        online = {
+            "rdt_status": client.query(session_id, "rdt_status"),
+            "z_cycles": client.query(session_id, "z_cycles"),
+            "recovery_line": client.query(
+                session_id, "recovery_line", crashed=crashed
+            ),
+        }
+    # The server's own record of what it ingested, replayed offline.
+    log = list(handle.server.sessions[session_id].ingest_log)
+    assert len(log) == len(trace.ops)
+    offline = offline_answers(session_id, N, protocol, log, crashed=crashed)
+    assert canonical_dumps(online) == canonical_dumps(offline)
+
+
+def test_cells_cover_many_workloads_and_protocols():
+    """The sampled grid is a real spread, not one corner."""
+    workloads = {w for w, _, _ in CELL_PARAMS}
+    protocols = {p for _, p, _ in CELL_PARAMS}
+    assert len(CELL_PARAMS) >= 20
+    assert len(workloads) >= 4
+    assert len(protocols) >= 5

@@ -1,0 +1,111 @@
+"""Snapshot/restore: digest-checked replay, memory and directory stores."""
+
+import pytest
+
+from repro.obs.jsonio import canonical_dumps
+from repro.serve.session import ServeSession
+from repro.serve.snapshots import (
+    SnapshotStore,
+    restore_session,
+    snapshot_doc,
+    state_digest,
+)
+from repro.types import SimulationError
+
+
+def busy_session(protocol="bhmr"):
+    session = ServeSession("snap", 3, protocol)
+    for _ in range(3):
+        mid = session.apply({"kind": "send", "src": 0, "dst": 1})["msg_id"]
+        session.apply({"kind": "deliver", "msg_id": mid})
+        session.apply({"kind": "checkpoint", "pid": 2})
+    return session
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_rebuilds_identical_state(self):
+        session = busy_session()
+        doc = snapshot_doc(session)
+        twin = restore_session(doc)
+        assert twin.session_id == session.session_id
+        assert twin.ingest_log == session.ingest_log
+        assert state_digest(twin) == doc["digest"]
+        assert canonical_dumps(twin.query("rdt_status")) == canonical_dumps(
+            session.query("rdt_status")
+        )
+
+    def test_restored_session_keeps_ingesting(self):
+        session = busy_session()
+        twin = restore_session(snapshot_doc(session))
+        # Message ids continue where the log left off.
+        reply = twin.apply({"kind": "send", "src": 1, "dst": 2})
+        assert reply["msg_id"] == len(
+            [op for op in session.ingest_log if op["kind"] == "send"]
+        )
+
+    def test_snapshot_doc_is_json_safe(self):
+        doc = snapshot_doc(busy_session())
+        assert canonical_dumps(doc)  # no repr fallbacks, no cycles
+        assert doc["version"] == 1
+        assert doc["events"] == len(doc["log"])
+
+    def test_tampered_log_fails_integrity_check(self):
+        doc = snapshot_doc(busy_session())
+        doc["log"] = doc["log"][:-1]  # drop the last op, keep the digest
+        with pytest.raises(SimulationError, match="integrity"):
+            restore_session(doc)
+
+    def test_tampered_digest_fails_integrity_check(self):
+        doc = snapshot_doc(busy_session())
+        doc["digest"] = "0" * 64
+        with pytest.raises(SimulationError, match="integrity"):
+            restore_session(doc)
+
+
+class TestSnapshotStore:
+    @pytest.fixture(params=["memory", "directory"])
+    def store(self, request, tmp_path):
+        if request.param == "memory":
+            return SnapshotStore()
+        return SnapshotStore(tmp_path / "snaps")
+
+    def test_save_load_pop(self, store):
+        session = busy_session()
+        saved = store.save(session)
+        assert "snap" in store
+        assert store.known() == ["snap"]
+        loaded = store.load("snap")
+        assert canonical_dumps(loaded) == canonical_dumps(saved)
+        popped = store.pop("snap")
+        assert canonical_dumps(popped) == canonical_dumps(saved)
+        assert "snap" not in store
+        assert store.pop("snap") is None
+
+    def test_discard_unknown_is_a_noop(self, store):
+        store.discard("ghost")
+        assert store.known() == []
+
+    def test_load_then_restore(self, store):
+        session = busy_session()
+        store.save(session)
+        twin = restore_session(store.load("snap"))
+        assert state_digest(twin) == state_digest(session)
+
+
+class TestDirectoryStore:
+    def test_snapshots_survive_a_new_store(self, tmp_path):
+        directory = tmp_path / "snaps"
+        SnapshotStore(directory).save(busy_session())
+        fresh = SnapshotStore(directory)  # a restarted server
+        assert fresh.known() == ["snap"]
+        assert restore_session(fresh.load("snap")).ingest_log
+
+    def test_hostile_session_ids_stay_inside_the_directory(self, tmp_path):
+        directory = tmp_path / "snaps"
+        store = SnapshotStore(directory)
+        session = busy_session()
+        session.session_id = "../escape"
+        store.save(session)
+        files = list(directory.glob("*.json"))
+        assert len(files) == 1
+        assert files[0].parent == directory

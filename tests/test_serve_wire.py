@@ -1,0 +1,92 @@
+"""The wire codec: length-prefixed canonical-JSON frames, sans-IO."""
+
+import json
+import struct
+
+import pytest
+
+from repro.serve import wire
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        doc = {"kind": "hello", "seq": 1, "session": "s", "n": 3}
+        assert wire.decode_frame(wire.encode_frame(doc)[4:]) == doc
+
+    def test_canonical_bytes(self):
+        # Key order must not leak into the encoding.
+        a = wire.encode_frame({"b": 1, "a": 2})
+        b = wire.encode_frame({"a": 2, "b": 1})
+        assert a == b
+        assert b"\n" not in a and b" " not in a
+
+    def test_length_prefix_is_big_endian(self):
+        frame = wire.encode_frame({"x": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_oversized_frame_refused_on_encode(self):
+        with pytest.raises(wire.FrameError, match="exceeds"):
+            wire.encode_frame({"blob": "x" * (wire.MAX_FRAME + 1)})
+
+    def test_non_object_payload_refused(self):
+        with pytest.raises(wire.FrameError, match="object"):
+            wire.decode_frame(json.dumps([1, 2, 3]).encode())
+
+    def test_garbage_payload_refused(self):
+        with pytest.raises(wire.FrameError, match="undecodable"):
+            wire.decode_frame(b"\xff\xfe not json")
+
+
+class TestFrameBuffer:
+    def test_byte_by_byte_feed(self):
+        doc = {"kind": "send", "seq": 9, "session": "s", "src": 0, "dst": 1}
+        frame = wire.encode_frame(doc)
+        buffer = wire.FrameBuffer()
+        for i, byte in enumerate(frame):
+            out = buffer.feed(bytes([byte]))
+            if i < len(frame) - 1:
+                assert out == []
+                assert buffer.pending() == i + 1
+            else:
+                assert out == [doc]
+        assert buffer.pending() == 0
+        assert buffer.next_doc() == doc
+        assert buffer.next_doc() is None
+
+    def test_many_frames_one_chunk(self):
+        docs = [{"seq": i, "kind": "checkpoint"} for i in range(100)]
+        chunk = b"".join(wire.encode_frame(d) for d in docs)
+        buffer = wire.FrameBuffer()
+        assert buffer.feed(chunk) == docs
+        assert [buffer.next_doc() for _ in docs] == docs
+        assert buffer.pending() == 0
+
+    def test_split_across_chunks(self):
+        docs = [{"seq": i, "payload": "y" * 50} for i in range(10)]
+        stream = b"".join(wire.encode_frame(d) for d in docs)
+        buffer = wire.FrameBuffer()
+        got = []
+        third = len(stream) // 3
+        for part in (stream[:third], stream[third : 2 * third], stream[2 * third :]):
+            got.extend(buffer.feed(part))
+        assert got == docs
+
+    def test_hostile_length_prefix_refused(self):
+        buffer = wire.FrameBuffer()
+        with pytest.raises(wire.FrameError, match="exceeds"):
+            buffer.feed(struct.pack(">I", wire.MAX_FRAME + 1) + b"x")
+
+    def test_pending_counts_partial_frame(self):
+        frame = wire.encode_frame({"seq": 1})
+        buffer = wire.FrameBuffer()
+        buffer.feed(frame[:7])
+        assert buffer.pending() == 7
+
+
+class TestErrorReply:
+    def test_shape(self):
+        reply = wire.error_reply(42, "overloaded", "queue full")
+        assert reply == {
+            "ok": False, "seq": 42, "error": "overloaded", "detail": "queue full",
+        }

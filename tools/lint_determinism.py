@@ -18,6 +18,14 @@ nondeterminism leaks in:
   simulation path.  (``time.perf_counter`` stays allowed: the profiler
   measures wall time *by design*, outside every deterministic artifact.)
 
+Since the serve subsystem (``src/repro/serve``) went async, a fourth
+rule protects the event loop rather than determinism: **no blocking
+calls inside ``async def`` bodies** -- ``time.sleep`` (use
+``asyncio.sleep``) and synchronous socket operations (``.recv()``,
+``.accept()``, ``.sendall()`` ...) stall every session sharing the
+loop.  The blocking clients in ``repro.serve.client`` are plain sync
+functions, which the rule deliberately leaves alone.
+
 Run from the repo root (exit code 1 on any violation)::
 
     python tools/lint_determinism.py [root ...]
@@ -40,6 +48,20 @@ _FORBIDDEN_CALLS = {
 _FORBIDDEN_MODULE_RNG = "call on the shared module-level RNG"
 _FORBIDDEN_UNSEEDED = "random.Random() without an explicit seed argument"
 
+#: ``module.attr`` calls that block the event loop inside ``async def``.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep blocks the event loop; use asyncio.sleep",
+}
+#: Method names that are synchronous socket I/O wherever they appear.
+_BLOCKING_METHODS = {
+    "recv": "synchronous socket recv blocks the event loop",
+    "recv_into": "synchronous socket recv blocks the event loop",
+    "recvfrom": "synchronous socket recv blocks the event loop",
+    "recvfrom_into": "synchronous socket recv blocks the event loop",
+    "accept": "synchronous socket accept blocks the event loop",
+    "sendall": "synchronous socket sendall blocks the event loop",
+}
+
 
 class Violation(NamedTuple):
     path: Path
@@ -58,10 +80,52 @@ def _module_attr(func: ast.expr):
     return None
 
 
+def _async_blocking(path: Path, tree: ast.AST) -> List[Violation]:
+    """Blocking calls lexically inside any ``async def`` of the tree.
+
+    Nested defs are included on purpose: a sync helper defined inside a
+    coroutine still runs on the loop when called from it.  Awaited
+    method calls (``await x.recv()``) are skipped -- an awaited call is
+    an async API, not synchronous socket I/O.
+    """
+    awaited = {
+        id(node.value) for node in ast.walk(tree) if isinstance(node, ast.Await)
+    }
+    seen: set = set()
+    found: List[Violation] = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call) or id(node) in seen:
+                continue
+            seen.add(id(node))
+            target = _module_attr(node.func)
+            if target in _BLOCKING_MODULE_CALLS:
+                found.append(
+                    Violation(
+                        path, node.lineno, f"async:{target[0]}.{target[1]}",
+                        _BLOCKING_MODULE_CALLS[target],
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+                and id(node) not in awaited
+            ):
+                found.append(
+                    Violation(
+                        path, node.lineno, f"async:.{node.func.attr}",
+                        _BLOCKING_METHODS[node.func.attr],
+                    )
+                )
+    return found
+
+
 def check_source(path: Path, source: str) -> List[Violation]:
     """All determinism violations in one file's source text."""
     tree = ast.parse(source, filename=str(path))
-    found: List[Violation] = []
+    found: List[Violation] = _async_blocking(path, tree)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue

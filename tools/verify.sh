@@ -1,0 +1,15 @@
+#!/bin/sh
+# One-command verification: the determinism/async lint plus the tier-1
+# test suite, exactly what CI (and the roadmap's gate) runs.
+#
+#     sh tools/verify.sh
+#
+# Exits non-zero on the first failing stage.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== lint: determinism + async blocking-call rules =="
+python tools/lint_determinism.py
+
+echo "== tier-1: pytest =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
