@@ -1,0 +1,227 @@
+"""What durability costs: the ingest WAL against the no-WAL daemon.
+
+Two layers:
+
+* the **writer microbenchmark** -- records/s through
+  :class:`repro.serve.wal.IngestWal` at different group-commit batch
+  sizes, isolating the fsync amortization curve from the service around
+  it (batch=1 is one disk barrier per record, the worst case the
+  ``--fsync-batch`` knob allows);
+* the **end-to-end differential** -- two fresh ``repro serve``
+  subprocesses under the same pipelined load, one with ``--no-wal`` and
+  one with the WAL at the default batch (64).  The acceptance bound:
+  durable ingest sustains **at least half** the no-WAL rate (per
+  server-CPU-second, the same metric ``bench_serve`` gates on) -- i.e.
+  crash safety costs at most 2x.  Deep client pipelining is what makes
+  this work: a full window of frames rides each fsync.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from benchmarks._emit import write_bench
+from repro.harness import render_table
+from repro.serve.loadgen import run_load
+from repro.serve.wal import IngestWal
+
+SESSIONS = 8
+N = 4
+DURATION = 30.0
+WINDOW = 256
+#: The durability bound under test: WAL ingest >= no-WAL rate / 2.
+MAX_SLOWDOWN = 2.0
+#: Noise guard for the end-to-end ratio.
+ATTEMPTS = 2
+
+MICRO_RECORDS = 20_000
+MICRO_BATCHES = (1, 8, 64, 512)
+
+
+def _proc_cpu_s(pid: int) -> float:
+    """CPU seconds (user+system) consumed by ``pid`` so far (Linux)."""
+    with open(f"/proc/{pid}/stat", "rb") as f:
+        rest = f.read().rpartition(b")")[2].split()
+    return (int(rest[11]) + int(rest[12])) / os.sysconf("SC_CLK_TCK")
+
+
+# ----------------------------------------------------------------------
+# writer microbenchmark
+# ----------------------------------------------------------------------
+def _writer_rate(directory, *, batch, fsync=True) -> float:
+    wal = IngestWal(directory, segment_records=8192, fsync=fsync)
+    op = {"kind": "checkpoint", "pid": 1}
+    started = time.perf_counter()
+    appended = 0
+    while appended < MICRO_RECORDS:
+        for _ in range(batch):
+            wal.append("bench", appended, op)
+            appended += 1
+        wal.sync()
+    elapsed = time.perf_counter() - started
+    wal.close()
+    return appended / elapsed
+
+
+def test_writer_fsync_amortization(emit):
+    """Records/s vs group-commit batch: the curve the knob buys."""
+    rows = []
+    rates = {}
+    with tempfile.TemporaryDirectory() as d:
+        for batch in MICRO_BATCHES:
+            rate = _writer_rate(os.path.join(d, f"b{batch}"), batch=batch)
+            rates[batch] = rate
+            rows.append(
+                {"fsync batch": batch, "records/s": f"{rate:,.0f}"}
+            )
+        no_fsync = _writer_rate(os.path.join(d, "nofsync"), batch=512, fsync=False)
+        rows.append(
+            {"fsync batch": "off (unsafe)", "records/s": f"{no_fsync:,.0f}"}
+        )
+    emit(
+        render_table(
+            rows,
+            title=f"WAL writer, {MICRO_RECORDS} records, one fsync per batch",
+        )
+    )
+    # The whole design rests on this monotonicity: batching must buy
+    # real throughput, and even batch=1 must not collapse.
+    assert rates[64] > rates[1], "group commit bought nothing"
+    assert rates[1] > 50, "one fsync per record is unusably slow here"
+    write_bench(
+        "wal",
+        {
+            "writer": {
+                "records": MICRO_RECORDS,
+                "records_per_s_by_batch": {
+                    str(b): round(r, 1) for b, r in rates.items()
+                },
+                "records_per_s_no_fsync": round(no_fsync, 1),
+            }
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end: served ingest with and without the WAL
+# ----------------------------------------------------------------------
+def _one_run(seed: int, *, wal: bool) -> dict:
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = repo_src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory() as d:
+        sock = os.path.join(d, "serve.sock")
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--unix", sock, "--workers", "2", "--queue-depth", "1024",
+            "--json",
+        ]
+        if wal:
+            argv += ["--wal-dir", os.path.join(d, "wal"), "--fsync-batch", "64"]
+        else:
+            argv += ["--no-wal"]
+        server = subprocess.Popen(
+            argv, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "server did not bind"
+                assert server.poll() is None, server.stderr.read()
+                time.sleep(0.02)
+            cpu0 = _proc_cpu_s(server.pid)
+            report = run_load(
+                ("unix", sock),
+                sessions=SESSIONS, n=N, duration=DURATION,
+                window=WINDOW, query_every=0, seed=seed,
+            )
+            cpu = _proc_cpu_s(server.pid) - cpu0
+            server.send_signal(signal.SIGINT)
+            out, err = server.communicate(timeout=60)
+        except Exception:
+            server.kill()
+            raise
+    assert server.returncode == 0, err
+    summary = json.loads(out)["sessions"]
+    doc = report.as_doc()
+    doc["server_cpu_s"] = round(cpu, 4)
+    doc["events_per_cpu_s"] = round(report.acked / cpu, 1) if cpu > 0 else None
+    doc["server_events"] = sum(summary.values())
+    return doc
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    """(no-WAL, WAL) run pairs; best ratio wins the gate."""
+    if not os.path.exists("/proc"):
+        pytest.skip("needs /proc for per-process CPU accounting")
+    pairs = []
+    for attempt in range(ATTEMPTS):
+        baseline = _one_run(seed=attempt, wal=False)
+        durable = _one_run(seed=attempt, wal=True)
+        pairs.append((baseline, durable))
+        ratio = durable["events_per_cpu_s"] / baseline["events_per_cpu_s"]
+        if ratio >= 1.0 / MAX_SLOWDOWN:
+            break
+    return pairs
+
+
+def test_durable_ingest_within_2x_of_no_wal(emit, paired_runs):
+    best = max(
+        paired_runs,
+        key=lambda p: p[1]["events_per_cpu_s"] / p[0]["events_per_cpu_s"],
+    )
+    baseline, durable = best
+    ratio = durable["events_per_cpu_s"] / baseline["events_per_cpu_s"]
+    emit(
+        render_table(
+            [
+                {
+                    "config": name,
+                    "acked": r["acked"],
+                    "events/cpu-s": r["events_per_cpu_s"],
+                    "wall events/s": r["throughput_events_per_s"],
+                    "ingest p99 (s)": r["ingest_p99_s"],
+                }
+                for name, r in (("no WAL", baseline), ("WAL batch=64", durable))
+            ],
+            title=(
+                f"durability cost ({SESSIONS} sessions, n={N}, "
+                f"window={WINDOW}, {DURATION:.0f}s each): "
+                f"WAL/no-WAL = {ratio:.2f}"
+            ),
+        )
+    )
+    for r in (baseline, durable):
+        assert r["errors"] == 0 and r["disconnects"] == 0
+        assert r["server_events"] >= r["acked"]
+    assert ratio >= 1.0 / MAX_SLOWDOWN, (
+        f"durable ingest runs at {ratio:.2f}x the no-WAL rate; the bound "
+        f"is >= {1.0 / MAX_SLOWDOWN:.2f}x (a {MAX_SLOWDOWN:.0f}x slowdown)"
+    )
+    write_bench(
+        "wal",
+        {
+            "serve_differential": {
+                "sessions": SESSIONS,
+                "n": N,
+                "window": WINDOW,
+                "duration_s": DURATION,
+                "no_wal_events_per_cpu_s": baseline["events_per_cpu_s"],
+                "wal_events_per_cpu_s": durable["events_per_cpu_s"],
+                "ratio": round(ratio, 3),
+                "bound": round(1.0 / MAX_SLOWDOWN, 3),
+                "wal_acked": durable["acked"],
+                "runs": len(paired_runs),
+            }
+        },
+    )

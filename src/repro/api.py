@@ -437,6 +437,8 @@ def serve(
     queue_depth: int = 256,
     idle_timeout: Optional[float] = None,
     snapshot_dir: Optional[str] = None,
+    wal_dir: Optional[str] = None,
+    fsync_batch: int = 64,
     config: Optional[ServerConfig] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -448,11 +450,20 @@ def serve(
     frame applied, all sessions snapshotted); ``handle.address`` /
     ``handle.connect_address()`` give where to point :func:`connect`.
     ``port=0`` (the default) binds an ephemeral TCP port;
-    ``unix_path=`` serves on a Unix socket instead.  See
-    ``docs/SERVICE.md`` for the wire protocol and semantics.
+    ``unix_path=`` serves on a Unix socket instead.  ``wal_dir=``
+    enables the durable ingest WAL: every acknowledged frame is fsynced
+    (in ``fsync_batch``-record group commits) before its ack, and a
+    restarted server replays the WAL so a ``kill -9`` loses nothing
+    acknowledged.  See ``docs/SERVICE.md`` for the wire protocol and
+    durability semantics.
     """
     if config is not None:
-        if unix_path is not None or snapshot_dir is not None or port != 0:
+        if (
+            unix_path is not None
+            or snapshot_dir is not None
+            or wal_dir is not None
+            or port != 0
+        ):
             raise SimulationError(
                 "pass either config= or the individual server knobs, not both"
             )
@@ -465,6 +476,8 @@ def serve(
             queue_depth=queue_depth,
             idle_timeout=idle_timeout,
             snapshot_dir=snapshot_dir,
+            wal_dir=wal_dir,
+            fsync_batch=fsync_batch,
         )
     return serve_in_thread(config, tracer=tracer, metrics=metrics)
 

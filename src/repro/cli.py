@@ -573,6 +573,8 @@ def cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         idle_timeout=args.idle_timeout,
         snapshot_dir=args.snapshot_dir,
+        wal_dir=None if args.no_wal else args.wal_dir,
+        fsync_batch=args.fsync_batch,
     )
     handle = api.serve(config=config, tracer=obs.tracer, metrics=obs.registry)
     if not obs.json:
@@ -799,6 +801,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persist session snapshots under DIR (default: in memory)",
+    )
+    p.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "durable ingest WAL under DIR: every acked frame is fsynced "
+            "before its ack and survives kill -9 (default: no WAL)"
+        ),
+    )
+    p.add_argument(
+        "--fsync-batch",
+        type=int,
+        default=64,
+        metavar="RECORDS",
+        help="max WAL records retired per fsync (group-commit batch cap)",
+    )
+    p.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="disable the WAL even if --wal-dir is given (benchmarking)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -17,6 +17,8 @@ Layers
 * :mod:`repro.serve.server` -- the asyncio daemon (sharded workers,
   backpressure, idle eviction, graceful drain);
 * :mod:`repro.serve.snapshots` -- session snapshot/restore store;
+* :mod:`repro.serve.wal` -- the durable ingest WAL (hash-chained
+  append-only segments, fsync-batched group commit, crash recovery);
 * :mod:`repro.serve.client` -- sync and async client libraries;
 * :mod:`repro.serve.loadgen` -- workload replay through N connections.
 
@@ -30,6 +32,15 @@ from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.server import CheckpointServer, ServerConfig, ServerHandle
 from repro.serve.session import ServeSession, offline_answers
 from repro.serve.snapshots import SnapshotStore
+from repro.serve.wal import (
+    IngestWal,
+    WalCommitter,
+    WalCorruption,
+    WalError,
+    WalRecord,
+    read_wal,
+    recover_sessions,
+)
 from repro.serve.wire import (
     MAX_FRAME,
     FrameBuffer,
@@ -46,17 +57,24 @@ __all__ = [
     "Client",
     "FrameBuffer",
     "FrameError",
+    "IngestWal",
     "LoadReport",
     "MAX_FRAME",
     "ServeSession",
     "ServerConfig",
     "ServerHandle",
     "SnapshotStore",
+    "WalCommitter",
+    "WalCorruption",
+    "WalError",
+    "WalRecord",
     "decode_frame",
     "encode_frame",
     "offline_answers",
     "parse_address",
     "read_frame",
+    "read_wal",
+    "recover_sessions",
     "run_load",
     "write_frame",
 ]

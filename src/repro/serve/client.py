@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.serve import wire
@@ -92,16 +93,20 @@ class Client(_Requests):
         self, address: Union[str, Address], timeout: Optional[float] = 10.0
     ) -> None:
         self.address = parse_address(address)
+        self._timeout = timeout
         self._seq = 0
         self._buffer = wire.FrameBuffer()
+        self._dial()
+
+    def _dial(self) -> None:
         try:
             if self.address[0] == "unix":
                 self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                self._sock.settimeout(timeout)
+                self._sock.settimeout(self._timeout)
                 self._sock.connect(self.address[1])
             else:
                 self._sock = socket.create_connection(
-                    (self.address[1], self.address[2]), timeout=timeout
+                    (self.address[1], self.address[2]), timeout=self._timeout
                 )
         except ConnectionError:
             raise
@@ -111,6 +116,53 @@ class Client(_Requests):
             raise ConnectionError(
                 f"cannot connect to {self.address!r}: {exc}"
             ) from exc
+
+    # ------------------------------------------------------------------
+    # recovery-aware reconnect
+    # ------------------------------------------------------------------
+    def reconnect(
+        self, retries: int = 20, delay: float = 0.25
+    ) -> None:
+        """Redial a server that went away (e.g. is restarting).
+
+        Retries the dial up to ``retries`` times, ``delay`` seconds
+        apart, because a crashed server replays its WAL *before*
+        binding -- the socket appears only once recovery is complete.
+        Raises the final :class:`ConnectionError` when it never comes
+        back.  Any reply buffered from the old connection is dropped.
+        """
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._buffer = wire.FrameBuffer()
+        last: Optional[ConnectionError] = None
+        for attempt in range(max(1, retries)):
+            if attempt:
+                time.sleep(delay)
+            try:
+                self._dial()
+                return
+            except ConnectionError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def resume(self, session: str) -> Dict[str, object]:
+        """Reconnect (if needed) and re-greet ``session``.
+
+        Returns the hello reply; against a WAL-backed server it carries
+        ``events`` (ingested frames recovered), ``wal_seq`` (the
+        durable sequence the server's record reaches -- every frame the
+        client saw acked is at or below it) and ``recovered`` (whether
+        the session was rebuilt from the WAL after a crash), so a
+        client knows exactly where to pick up.
+        """
+        try:
+            return self.hello(session)
+        except (ConnectionError, OSError):
+            self.reconnect()
+            return self.hello(session)
 
     # ------------------------------------------------------------------
     def call(self, doc: Dict[str, object]) -> Dict[str, object]:
@@ -309,6 +361,15 @@ class AsyncClient(_Requests):
 
     async def snapshot(self, session: str) -> Dict[str, object]:
         return await self.call("snapshot", session=session)
+
+    async def resume(self, session: str) -> Dict[str, object]:
+        """Re-greet ``session``; see :meth:`Client.resume`.
+
+        The async client cannot redial in place (its reader task owns
+        the old transport) -- reconnect by creating a fresh client via
+        :meth:`connect`, then ``resume`` to learn the recovered state.
+        """
+        return await self.hello(session)
 
     async def close(self) -> None:
         try:

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING, Union
 from repro.serve import wire
 from repro.serve.session import ServeSession, SessionError
 from repro.serve.snapshots import SnapshotStore, restore_session
+from repro.serve.wal import IngestWal, WalCommitter, recover_sessions
 from repro.types import ReproError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,6 +65,14 @@ class ServerConfig:
     queue_depth: int = 256
     idle_timeout: Optional[float] = None
     snapshot_dir: Optional[str] = None
+    #: Directory of the durable ingest WAL; ``None`` disables the WAL
+    #: (acks then promise nothing across an OS-level crash).
+    wal_dir: Optional[str] = None
+    #: Max records retired per WAL fsync (the group-commit batch cap).
+    fsync_batch: int = 64
+    #: ``False`` keeps the WAL files but skips ``fsync`` -- the
+    #: benchmark's no-durability baseline, never a production setting.
+    wal_fsync: bool = True
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -72,6 +81,8 @@ class ServerConfig:
             raise SimulationError("queue_depth must be positive")
         if self.idle_timeout is not None and self.idle_timeout <= 0:
             raise SimulationError("idle_timeout must be positive (or None)")
+        if self.fsync_batch <= 0:
+            raise SimulationError("fsync_batch must be positive")
 
 
 #: Frame kinds the dispatcher accepts (set: checked once per frame).
@@ -161,14 +172,33 @@ class CheckpointServer:
         self._tick = 0  # server-side trace clock (one per traced event)
         self.shed_frames = 0
         self.ingested_frames = 0
+        # --- durable ingest WAL (built in start(); None = disabled) ---
+        self.wal: Optional[IngestWal] = None
+        self._committer: Optional[WalCommitter] = None
+        #: Per session: highest WAL seq holding one of its records.
+        self._wal_tail: Dict[str, int] = {}
+        #: Per session: WAL seq its newest durable snapshot covers.
+        self._snap_marks: Dict[str, int] = {}
+        #: Sessions rebuilt from WAL/snapshot replay at startup.
+        self._recovered: Dict[str, int] = {}
+        self.recovered_records = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Address:
-        """Bind, spawn the worker pool, start accepting; returns address."""
+        """Bind, spawn the worker pool, start accepting; returns address.
+
+        With ``wal_dir`` set, crash recovery runs *before* the listener
+        binds: the WAL is verified (halting on any non-tail damage),
+        replayed on top of the newest valid snapshots, and every
+        acknowledged frame is live again before the first client can
+        connect.
+        """
         if self._server is not None:
             raise SimulationError("server already started")
+        if self.config.wal_dir is not None:
+            self._open_wal()
         self._queues = [
             asyncio.Queue(maxsize=self.config.queue_depth)
             for _ in range(self.config.workers)
@@ -193,6 +223,64 @@ class CheckpointServer:
             self.address = ("tcp", host, port)
         self._trace("serve.start", address=list(self.address))
         return self.address
+
+    def _open_wal(self) -> None:
+        """Open/verify the WAL and rebuild every session it proves.
+
+        Damage beyond a torn (never-acknowledged) tail raises
+        :class:`~repro.serve.wal.WalCorruption` out of :meth:`start` --
+        the server halts rather than serving silently-wrong state.
+        """
+        assert self.config.wal_dir is not None
+        self.wal = IngestWal(
+            self.config.wal_dir, fsync=self.config.wal_fsync
+        )
+        self._committer = WalCommitter(
+            self.wal, fsync_batch=self.config.fsync_batch
+        )
+        snapshots: Dict[str, Dict[str, object]] = {}
+        for sid in self.store.known():
+            doc = self.store.load(sid)
+            if doc is not None:
+                snapshots[sid] = doc
+        recovered = recover_sessions(self.wal.recovered, snapshots)
+        for sid in sorted(recovered):
+            rec = recovered[sid]
+            snap = snapshots.get(sid)
+            if snap is not None:
+                # Digest-checked replay of the snapshot prefix, then
+                # the WAL tail applied op by op on top of it.
+                session = restore_session(snap, metrics=self.metrics)
+                for op in rec.log[len(session.ingest_log):]:
+                    session.apply(dict(op))
+            else:
+                session = ServeSession.replay_log(
+                    sid, rec.n, rec.protocol, rec.log, metrics=self.metrics
+                )
+            self.sessions[sid] = session
+            self._wal_tail[sid] = rec.wal_seq
+            if snap is not None:
+                self._snap_marks[sid] = int(snap.get("wal_seq", -1))  # type: ignore[arg-type]
+            self._recovered[sid] = rec.wal_seq
+            self.recovered_records += len(rec.log)
+            self._trace(
+                "serve.wal.recover",
+                session=sid,
+                events=len(session.ingest_log),
+                wal_seq=rec.wal_seq,
+                from_snapshot=rec.from_snapshot,
+            )
+        if self.wal.repaired_tail:
+            self._trace(
+                "serve.wal.repair", dropped=self.wal.repaired_tail
+            )
+        if self.metrics is not None:
+            self.metrics.set("serve.wal.durable_seq", self.wal.durable_seq)
+            self.metrics.set("serve.wal.recovered_sessions", len(recovered))
+            self.metrics.set(
+                "serve.wal.recovered_records", self.recovered_records
+            )
+        self._gauge_sessions()
 
     async def stop(self) -> Dict[str, int]:
         """Graceful drain; returns ``{session_id: ingested event count}``.
@@ -221,8 +309,14 @@ class CheckpointServer:
             sid: len(session.ingest_log)
             for sid, session in sorted(self.sessions.items())
         }
+        if self.wal is not None:
+            # Workers committed their final batches during the drain;
+            # this is a belt-and-braces flush before snapshotting.
+            self.wal.sync()
         for session in self.sessions.values():
-            self.store.save(session)
+            self._save_snapshot(session)
+        if self.wal is not None:
+            self.wal.close()
         self._trace("serve.stop", sessions=len(summary))
         self.sessions.clear()
         for conn in list(self._conns):
@@ -348,18 +442,33 @@ class CheckpointServer:
             # Batch: one await wakes the worker, then everything already
             # queued on the shard is processed without further switches,
             # and each connection gets one coalesced write per batch.
+            #
+            # Durability ordering (the WAL contract):
+            #   1. apply + WAL-append every frame of the batch, replies
+            #      held back;
+            #   2. group-commit the WAL (one fsync covers the batch);
+            #   3. only then push the replies -- an ack on the wire
+            #      implies its record is on disk.
+            # Snapshot and eviction frames get a commit barrier *first*
+            # so a snapshot can never contain a frame that is not yet
+            # durable (which a crash would otherwise resurrect as a
+            # phantom the client was never acked for).
             items = [await queue.get()]
             while True:
                 try:
                     items.append(queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            replies: List[Tuple[_Conn, Dict[str, object]]] = []
             touched: List[_Conn] = []
             for item in items:
                 doc, conn = item
                 if conn is None:  # internal housekeeping op
+                    await self._commit_wal()  # durability before snapshot
                     self._evict_if_idle(str(doc["session"]))
                     continue
+                if doc.get("kind") == "snapshot":
+                    await self._commit_wal()
                 try:
                     if self.metrics is not None:
                         started = perf_counter()
@@ -369,20 +478,26 @@ class CheckpointServer:
                         )
                     else:
                         reply = self._handle(doc)
-                    conn.push(reply)
+                    replies.append((conn, reply))
                 except asyncio.CancelledError:
                     raise
                 except Exception:  # noqa: BLE001 - a worker must never die
-                    try:
-                        conn.push(
+                    replies.append(
+                        (
+                            conn,
                             wire.error_reply(
                                 doc.get("seq"), "internal", "internal error"
-                            )
+                            ),
                         )
-                    except Exception:  # noqa: BLE001
-                        pass
+                    )
                 if not any(c is conn for c in touched):
                     touched.append(conn)
+            await self._commit_wal()
+            for conn, reply in replies:
+                try:
+                    conn.push(reply)
+                except Exception:  # noqa: BLE001
+                    pass
             for conn in touched:
                 try:
                     await conn.flush_writes()
@@ -392,6 +507,25 @@ class CheckpointServer:
                 if item[1] is not None:
                     item[1].done()
                 queue.task_done()
+
+    async def _commit_wal(self) -> None:
+        """Make every appended WAL record durable; no-op without a WAL."""
+        if self._committer is None or self.wal is None:
+            return
+        target = self.wal.last_seq
+        if self.wal.durable_seq >= target:
+            return
+        started = perf_counter()
+        await self._committer.commit(target)
+        self._trace("serve.wal.commit", seq=self.wal.durable_seq)
+        for segment in self.wal.drain_rotations():
+            self._trace("serve.wal.rotate", segment=segment)
+        if self.metrics is not None:
+            self.metrics.observe(
+                "serve.wal.commit_s", perf_counter() - started
+            )
+            self.metrics.inc("serve.wal.commits")
+            self.metrics.set("serve.wal.durable_seq", self.wal.durable_seq)
 
     def _handle(self, doc: Dict[str, object]) -> Dict[str, object]:
         """Apply one sharded frame against its session (sync, in-shard)."""
@@ -410,22 +544,32 @@ class CheckpointServer:
                     self.metrics.inc("serve.queries")
                 return {"ok": True, "seq": seq, "result": result}
             if kind == "snapshot":
-                snap = self.store.save(session)
-                self._trace(
-                    "serve.snapshot",
-                    session=session_id,
-                    events=snap["events"],
-                )
-                return {
+                snap = self._save_snapshot(session)
+                reply = {
                     "ok": True,
                     "seq": seq,
                     "events": snap["events"],
                     "digest": snap["digest"],
                 }
+                if self.wal is not None:
+                    reply["wal_seq"] = snap["wal_seq"]
+                return reply
             reply = session.apply(doc)
             self.ingested_frames += 1
             if self.metrics is not None:
                 self.metrics.inc("serve.ingest")
+            if self.wal is not None:
+                # Log exactly what the session recorded; the reply is
+                # held back by the worker until this record is durable.
+                record = self.wal.append(
+                    session_id,
+                    len(session.ingest_log) - 1,
+                    session.ingest_log[-1],
+                )
+                self._wal_tail[session_id] = record.seq
+                reply["wal_seq"] = record.seq
+                if self.metrics is not None:
+                    self.metrics.inc("serve.wal.appends")
             reply["seq"] = seq
             return reply
         except (ReproError, SessionError) as exc:
@@ -451,6 +595,22 @@ class CheckpointServer:
                 metrics=self.metrics,
             )
             self.sessions[session_id] = live = session
+            if self.wal is not None:
+                # Session creation is a mutation too: without it the
+                # WAL tail could name a session recovery knows nothing
+                # about (n? protocol?), which would be a chain gap.
+                record = self.wal.append(
+                    session_id,
+                    -1,
+                    {
+                        "kind": "hello",
+                        "n": session.n,
+                        "protocol": session.protocol_name,
+                    },
+                )
+                self._wal_tail[session_id] = record.seq
+                if self.metrics is not None:
+                    self.metrics.inc("serve.wal.appends")
             self._gauge_sessions()
         else:
             n = doc.get("n")
@@ -465,7 +625,7 @@ class CheckpointServer:
                     f"protocol={live.protocol_name}",
                 )
         self._touch(session_id)
-        return {
+        reply: Dict[str, object] = {
             "ok": True,
             "seq": seq,
             "session": session_id,
@@ -474,6 +634,14 @@ class CheckpointServer:
             "resumed": resumed,
             "events": len(live.ingest_log),
         }
+        if self.wal is not None:
+            # Recovery-aware reconnect: the client learns exactly how
+            # far the durable record reaches (its last acked frame is
+            # at or below this) and whether the session was rebuilt
+            # from the WAL after a crash.
+            reply["wal_seq"] = self._wal_tail.get(session_id, -1)
+            reply["recovered"] = session_id in self._recovered
+        return reply
 
     def _resolve(self, session_id: str) -> ServeSession:
         session = self.sessions.get(session_id)
@@ -486,7 +654,14 @@ class CheckpointServer:
         )
 
     def _restore(self, session_id: str) -> ServeSession:
-        doc = self.store.pop(session_id)
+        # With a WAL the snapshot must outlive the restore: segments at
+        # or below its watermark may already be reclaimed, so deleting
+        # it would orphan the durable prefix it covers.  Without a WAL
+        # the restored session owns its state again (old behaviour).
+        if self.wal is not None:
+            doc = self.store.load(session_id)
+        else:
+            doc = self.store.pop(session_id)
         assert doc is not None
         session = restore_session(doc, metrics=self.metrics)
         self.sessions[session_id] = session
@@ -524,6 +699,34 @@ class CheckpointServer:
                 except asyncio.QueueFull:
                     continue  # busy shard: not idle enough to matter
 
+    def _save_snapshot(self, session: ServeSession) -> Dict[str, object]:
+        """Snapshot one session and reclaim fully-covered WAL segments.
+
+        Callers on the async path must run a WAL commit barrier first
+        (the worker does): the recorded ``wal_seq`` watermark asserts
+        that every logged frame in the snapshot is durable, and
+        truncation below relies on it.
+        """
+        session_id = session.session_id
+        wal_seq = self._wal_tail.get(session_id, -1)
+        snap = self.store.save(session, wal_seq=wal_seq)
+        self._trace(
+            "serve.snapshot",
+            session=session_id,
+            events=snap["events"],
+            wal_seq=wal_seq,
+        )
+        if self.wal is not None:
+            self._snap_marks[session_id] = wal_seq
+            removed = self.wal.truncate_covered(dict(self._snap_marks))
+            if removed:
+                self._trace("serve.wal.truncate", segments=removed)
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "serve.wal.truncated_segments", len(removed)
+                    )
+        return snap
+
     def _evict_if_idle(self, session_id: str) -> None:
         session = self.sessions.get(session_id)
         if session is None:
@@ -535,7 +738,7 @@ class CheckpointServer:
             or now - last < self.config.idle_timeout
         ):
             return
-        self.store.save(session)
+        self._save_snapshot(session)
         del self.sessions[session_id]
         self._activity.pop(session_id, None)
         self._trace(

@@ -36,15 +36,23 @@ def state_digest(session: ServeSession) -> str:
     return hashlib.sha256(canonical_bytes(session.manager.state())).hexdigest()
 
 
-def snapshot_doc(session: ServeSession) -> Dict[str, object]:
-    """The session as one canonical-JSON-safe snapshot document."""
+def snapshot_doc(session: ServeSession, wal_seq: int = -1) -> Dict[str, object]:
+    """The session as one canonical-JSON-safe snapshot document.
+
+    ``wal_seq`` is the ingest-WAL watermark the snapshot covers: every
+    WAL record of this session with seq at or below it is contained in
+    ``log``, so segments whose records are all covered by such
+    watermarks are reclaimable (see ``IngestWal.truncate_covered``).
+    ``-1`` means "no WAL" (or nothing of this session logged yet).
+    """
     return {
-        "version": 1,
+        "version": 2,
         "session": session.session_id,
         "n": session.n,
         "protocol": session.protocol_name,
         "events": len(session.ingest_log),
         "log": [dict(op) for op in session.ingest_log],
+        "wal_seq": wal_seq,
         "digest": state_digest(session),
     }
 
@@ -85,6 +93,10 @@ class SnapshotStore:
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            # A crash mid-save can leave a *.json.tmp behind; the real
+            # snapshot (if any) is intact, so stale temps are garbage.
+            for stale in self._directory.glob("*.json.tmp"):
+                stale.unlink()
         self._docs: Dict[str, Dict[str, object]] = {}
 
     def _path(self, session_id: str) -> Path:
@@ -94,15 +106,39 @@ class SnapshotStore:
         )
         return self._directory / f"{safe}.json"
 
-    def save(self, session: ServeSession) -> Dict[str, object]:
-        doc = snapshot_doc(session)
+    def save(
+        self, session: ServeSession, wal_seq: int = -1
+    ) -> Dict[str, object]:
+        doc = snapshot_doc(session, wal_seq=wal_seq)
         if self._directory is not None:
-            self._path(session.session_id).write_text(
-                canonical_dumps(doc), encoding="utf-8"
-            )
+            self._write_atomic(self._path(session.session_id), doc)
         else:
             self._docs[session.session_id] = doc
         return doc
+
+    @staticmethod
+    def _write_atomic(path: Path, doc: Dict[str, object]) -> None:
+        """Write-then-rename so a crash never leaves a torn snapshot.
+
+        A ``kill -9`` between any two syscalls here leaves either the
+        previous snapshot intact or the new one complete -- never a
+        partially-written file that would halt recovery.  The payload
+        is fsynced before the rename and the directory entry after it,
+        so the rename itself is durable too.
+        """
+        import os
+
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(canonical_dumps(doc))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def load(self, session_id: str) -> Optional[Dict[str, object]]:
         if self._directory is not None:

@@ -1,0 +1,604 @@
+"""The durable ingest WAL: hash-chained segments, group-committed fsync.
+
+The service's promise after this module is simple to state: **an
+acknowledged frame survives ``kill -9``**.  Every mutating frame
+(session-creating ``hello``, ``checkpoint``, ``send``, ``deliver``) is
+appended here and made durable *before* its acknowledgement leaves the
+server; on restart the server replays the WAL tail on top of the newest
+valid snapshots and recovers exactly the acknowledged prefix -- the
+checkpointing analyzer finally eats its own dogfood, surviving the very
+failures whose recovery lines it computes.
+
+Three layers, smallest surface first:
+
+* :class:`WalRecord` / :func:`read_wal` -- the on-disk format and its
+  verifier.  A record is one line of canonical JSON carrying
+  ``(seq, session, idx, op, prev, digest)`` where ``digest`` is the
+  SHA-256 of the record body and ``prev`` chains it to the previous
+  record, so any truncation, bit flip, deletion or reordering of
+  segment files is *detected* on open.  The policy is
+  **halt over degrade**: a torn tail (the records a crash caught
+  mid-write, which by the commit ordering were never acknowledged) is
+  dropped and reported; any damage that is not a pure tail raises
+  :class:`WalCorruption` instead of serving silently-wrong state.
+* :class:`IngestWal` -- the synchronous writer: buffered appends,
+  explicit :meth:`~IngestWal.sync` (write + ``os.fsync``) batches,
+  segment rotation, and snapshot-driven segment reclamation
+  (:meth:`~IngestWal.truncate_covered`).
+* :class:`WalCommitter` -- the asyncio group-commit front end: many
+  shard workers ``await commit(seq)`` concurrently, one ``fsync``
+  (run in an executor so the event loop never blocks on the disk)
+  retires up to ``fsync_batch`` records for all of them at once.
+
+:func:`recover_sessions` is the other half of durability: it folds the
+verified records over the newest snapshots into per-session ingest
+logs, the exact input :meth:`ServeSession.replay_log` needs.  The
+server calls it at startup; tests and offline tools call it against a
+crashed server's directories to know precisely what an honest recovery
+must produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.jsonio import canonical_bytes
+from repro.types import ReproError
+
+__all__ = [
+    "GENESIS",
+    "IngestWal",
+    "WalCommitter",
+    "WalCorruption",
+    "WalError",
+    "WalRecord",
+    "read_wal",
+    "recover_sessions",
+]
+
+
+class WalError(ReproError):
+    """A WAL operation was invalid (bad arguments, closed writer...)."""
+
+
+class WalCorruption(WalError):
+    """The WAL on disk is damaged beyond a pure torn tail.
+
+    Raised by :func:`read_wal` / :class:`IngestWal` when the chain
+    breaks anywhere that cannot be explained by a crash tearing the
+    last unsynced batch: a record with well-formed successors fails its
+    digest, a segment is missing or reordered, sequence numbers gap.
+    The server treats this as fatal at startup -- it refuses to serve
+    rather than degrade to silently-wrong state.
+    """
+
+
+#: The ``prev`` digest of the very first record (nothing before it).
+GENESIS = "0" * 64
+
+#: Segment file name pattern: first sequence number, zero padded so
+#: lexicographic order is numeric order.
+_SEGMENT_FMT = "wal-{:020d}.log"
+_SEGMENT_GLOB = "wal-*.log"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable ingest operation.
+
+    ``seq`` is the WAL-global position (0-based, gapless), ``session``
+    the session it mutates, ``idx`` the operation's index in that
+    session's ingest log (``-1`` for the session-creating ``hello``,
+    which precedes the log), ``op`` the canonical operation document,
+    ``prev``/``digest`` the hash chain.
+    """
+
+    seq: int
+    session: str
+    idx: int
+    op: Dict[str, object]
+    prev: str
+    digest: str
+
+    def body(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "session": self.session,
+            "idx": self.idx,
+            "op": self.op,
+            "prev": self.prev,
+        }
+
+    def as_doc(self) -> Dict[str, object]:
+        doc = self.body()
+        doc["digest"] = self.digest
+        return doc
+
+
+def _chain_digest(body: Dict[str, object]) -> str:
+    return hashlib.sha256(canonical_bytes(body)).hexdigest()
+
+
+def make_record(
+    seq: int, session: str, idx: int, op: Dict[str, object], prev: str
+) -> WalRecord:
+    """Mint one chained record (digest computed over the body)."""
+    body = {"seq": seq, "session": session, "idx": idx, "op": op, "prev": prev}
+    return WalRecord(
+        seq=seq, session=session, idx=idx, op=op, prev=prev,
+        digest=_chain_digest(body),
+    )
+
+
+def _record_from_doc(doc: Dict[str, object]) -> Optional[WalRecord]:
+    """Parse + verify one record document; None when malformed."""
+    try:
+        seq = doc["seq"]
+        session = doc["session"]
+        idx = doc["idx"]
+        op = doc["op"]
+        prev = doc["prev"]
+        digest = doc["digest"]
+    except (KeyError, TypeError):
+        return None
+    if not (
+        isinstance(seq, int)
+        and isinstance(session, str)
+        and isinstance(idx, int)
+        and isinstance(op, dict)
+        and isinstance(prev, str)
+        and isinstance(digest, str)
+    ):
+        return None
+    record = WalRecord(
+        seq=seq, session=session, idx=idx, op=op, prev=prev, digest=digest
+    )
+    if _chain_digest(record.body()) != digest:
+        return None
+    return record
+
+
+def _parse_line(line: bytes) -> Optional[Dict[str, object]]:
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _looks_like_record(doc: Dict[str, object]) -> bool:
+    """A well-formed (though possibly mis-chained) record document."""
+    return "seq" in doc and "digest" in doc and "op" in doc
+
+
+def _segment_paths(directory: Path) -> List[Path]:
+    return sorted(directory.glob(_SEGMENT_GLOB))
+
+
+@dataclass
+class _Scan:
+    """What scanning the segment directory established."""
+
+    records: List[WalRecord]
+    #: ``(path, byte offset)`` of the first torn byte, when the final
+    #: segment ends in a torn (unacknowledged) tail; None when clean.
+    torn: Optional[Tuple[Path, int]]
+    #: Records dropped as the torn tail (diagnostic only).
+    dropped: int
+
+
+def _scan(directory: Path) -> _Scan:
+    """Verify every segment; recover the longest provable prefix.
+
+    Raises :class:`WalCorruption` for any damage that is not a pure
+    tail of the final segment.
+    """
+    paths = _segment_paths(directory)
+    records: List[WalRecord] = []
+    prev = GENESIS
+    next_seq = 0
+    for p_i, path in enumerate(paths):
+        final_segment = p_i == len(paths) - 1
+        data = path.read_bytes()
+        lines = data.split(b"\n")
+        # A well-formed segment ends with a newline: final split is b"".
+        offset = 0
+        expect_header = True
+        for l_i, line in enumerate(lines):
+            is_last_line = l_i == len(lines) - 1
+            if is_last_line and line == b"":
+                break  # clean trailing newline
+            doc = _parse_line(line)
+            bad: Optional[str] = None
+            if doc is None:
+                bad = "undecodable line"
+            elif expect_header:
+                # Segment header: names its first seq and the chain
+                # digest it continues from; catches file deletion and
+                # reordering even before the first record.
+                if doc.get("wal") != 1:
+                    bad = "missing segment header"
+                elif doc.get("first_seq") != next_seq:
+                    raise WalCorruption(
+                        f"{path.name}: segment header claims first_seq="
+                        f"{doc.get('first_seq')!r}, chain is at {next_seq}"
+                    )
+                elif doc.get("prev") != prev:
+                    raise WalCorruption(
+                        f"{path.name}: segment header does not continue "
+                        f"the chain (prev mismatch)"
+                    )
+                else:
+                    expect_header = False
+            else:
+                record = _record_from_doc(doc)
+                if record is None:
+                    bad = "record fails its digest"
+                elif record.seq != next_seq:
+                    raise WalCorruption(
+                        f"{path.name}: record seq {record.seq} where "
+                        f"{next_seq} expected (gap or reorder)"
+                    )
+                elif record.prev != prev:
+                    raise WalCorruption(
+                        f"{path.name}: chain break at seq {record.seq} "
+                        f"(prev digest mismatch)"
+                    )
+                else:
+                    records.append(record)
+                    prev = record.digest
+                    next_seq += 1
+            if bad is not None:
+                # Damage.  It is a *torn tail* -- droppable -- only if
+                # it is in the final segment and nothing record-shaped
+                # follows it; anything else is corruption.
+                if not final_segment:
+                    raise WalCorruption(f"{path.name}: {bad} (not the tail)")
+                rest = lines[l_i + 1 :]
+                for later in rest:
+                    later_doc = _parse_line(later)
+                    if later_doc is not None and _looks_like_record(later_doc):
+                        raise WalCorruption(
+                            f"{path.name}: {bad}, but verifiable records "
+                            f"follow it -- not a torn tail"
+                        )
+                dropped = sum(1 for l in (line, *rest) if l.strip())
+                return _Scan(records, torn=(path, offset), dropped=dropped)
+            offset += len(line) + 1
+        if expect_header and data:
+            raise WalCorruption(f"{path.name}: no segment header")
+    return _Scan(records, torn=None, dropped=0)
+
+
+def read_wal(directory: Union[str, Path]) -> List[WalRecord]:
+    """The verified record prefix of the WAL at ``directory``.
+
+    Read-only: a torn tail is dropped from the result but left on
+    disk.  Raises :class:`WalCorruption` on non-tail damage.
+    """
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    return _scan(directory).records
+
+
+class IngestWal:
+    """The append-only writer (synchronous core; see module docstring).
+
+    ``append`` buffers records in memory; ``sync`` writes a batch and
+    ``fsync``\\ s it, advancing :attr:`durable_seq`.  Opening an
+    existing directory verifies the chain, repairs a torn tail in
+    place (truncating the file to the last provable byte) and resumes
+    the chain where it left off.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        segment_records: int = 4096,
+        fsync: bool = True,
+    ) -> None:
+        if segment_records <= 0:
+            raise WalError("segment_records must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_records = segment_records
+        self.fsync = fsync
+        scan = _scan(self.directory)
+        self.repaired_tail = 0
+        if scan.torn is not None:
+            path, offset = scan.torn
+            with open(path, "r+b") as f:
+                f.truncate(offset)
+                f.flush()
+                os.fsync(f.fileno())
+            self.repaired_tail = scan.dropped
+        self.recovered: List[WalRecord] = scan.records
+        self._prev = scan.records[-1].digest if scan.records else GENESIS
+        self._next_seq = scan.records[-1].seq + 1 if scan.records else 0
+        self.durable_seq = self._next_seq - 1
+        self._pending: Deque[WalRecord] = deque()
+        self._file = None
+        self._segment_path: Optional[Path] = None
+        self._segment_count = 0
+        # Resume the final segment if it has room, else rotate lazily.
+        paths = _segment_paths(self.directory)
+        if paths:
+            self._segment_path = paths[-1]
+            tail = [r for r in scan.records]
+            # Count of records already in the final segment: those with
+            # seq >= its first_seq (from the file name).
+            first = int(paths[-1].name[len("wal-") : -len(".log")])
+            self._segment_count = sum(1 for r in tail if r.seq >= first)
+        self.fsyncs = 0
+        self.rotations: List[str] = []
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Highest appended seq (may not be durable yet); -1 if none."""
+        return self._next_seq - 1
+
+    def pending(self) -> int:
+        """Appended records not yet fsynced."""
+        return len(self._pending)
+
+    def append(self, session: str, idx: int, op: Dict[str, object]) -> WalRecord:
+        """Buffer one record; durable only after a later :meth:`sync`."""
+        if self.closed:
+            raise WalError("append on a closed WAL")
+        record = make_record(self._next_seq, session, idx, dict(op), self._prev)
+        self._prev = record.digest
+        self._next_seq += 1
+        self._pending.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def _open_segment(self, first_seq: int, prev: str) -> None:
+        path = self.directory / _SEGMENT_FMT.format(first_seq)
+        self._segment_path = path
+        self._segment_count = 0
+        self.rotations.append(path.name)
+        header = {
+            "wal": 1,
+            "first_seq": first_seq,
+            "prev": prev,
+            # Wall clock here is operational metadata only: it never
+            # enters a digest, a trace or any deterministic artifact.
+            "created_unix": time.time(),  # lint: allow-wall-clock
+        }
+        self._file = open(path, "ab")
+        self._file.write(canonical_bytes(header) + b"\n")
+
+    def sync(self, max_records: Optional[int] = None) -> int:
+        """Write up to ``max_records`` pending records, fsync, return
+        the new :attr:`durable_seq`.
+
+        ``None`` drains everything pending.  One call is one fsync (or
+        zero, with ``fsync=False`` -- the benchmark's no-durability
+        baseline); group commit is the caller batching many logical
+        commits onto one call.
+        """
+        if self.closed:
+            raise WalError("sync on a closed WAL")
+        count = len(self._pending) if max_records is None else min(
+            max_records, len(self._pending)
+        )
+        if count == 0:
+            return self.durable_seq
+        wrote = False
+        for _ in range(count):
+            record = self._pending.popleft()
+            if self._file is None or self._segment_count >= self.segment_records:
+                if self._file is not None:
+                    self._fsync_file()
+                    self._file.close()
+                self._open_segment(record.seq, record.prev)
+            self._file.write(canonical_bytes(record.as_doc()) + b"\n")
+            self._segment_count += 1
+            self.durable_seq = record.seq
+            wrote = True
+        if wrote and self._file is not None:
+            self._fsync_file()
+        return self.durable_seq
+
+    def _fsync_file(self) -> None:
+        assert self._file is not None
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+
+    def drain_rotations(self) -> List[str]:
+        """Segment files opened since the last call (for tracing)."""
+        out, self.rotations = self.rotations, []
+        return out
+
+    # ------------------------------------------------------------------
+    def segment_names(self) -> List[str]:
+        return [p.name for p in _segment_paths(self.directory)]
+
+    def truncate_covered(self, watermarks: Dict[str, int]) -> List[str]:
+        """Reclaim closed segments fully covered by session snapshots.
+
+        ``watermarks[session]`` is the highest WAL seq a durable
+        snapshot of that session covers.  A segment is deleted only
+        when *every* record in it belongs to a session whose watermark
+        is at or past that record -- and never the active segment.
+        Returns the deleted file names.
+        """
+        removed: List[str] = []
+        for path in _segment_paths(self.directory):
+            if path == self._segment_path:
+                break  # never the active tail
+            covered = True
+            for line in path.read_bytes().split(b"\n"):
+                if not line.strip():
+                    continue
+                doc = _parse_line(line)
+                if doc is None or doc.get("wal") == 1:
+                    continue
+                session = doc.get("session")
+                seq = doc.get("seq")
+                if watermarks.get(str(session), -1) < int(seq):  # type: ignore[arg-type]
+                    covered = False
+                    break
+            if not covered:
+                break  # segments are ordered; later ones end even higher
+            path.unlink()
+            removed.append(path.name)
+        return removed
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.sync()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<IngestWal {self.directory} last={self.last_seq} "
+            f"durable={self.durable_seq} pending={len(self._pending)}>"
+        )
+
+
+class WalCommitter:
+    """Asyncio group commit over one :class:`IngestWal`.
+
+    Shard workers append records synchronously (in-order, on the loop)
+    and then ``await commit(seq)``; the committer coalesces all waiters
+    onto as few fsyncs as possible, each fsync retiring up to
+    ``fsync_batch`` records and running in the default executor so the
+    event loop keeps serving other connections meanwhile.
+    """
+
+    def __init__(self, wal: IngestWal, fsync_batch: int = 64) -> None:
+        if fsync_batch <= 0:
+            raise WalError("fsync_batch must be positive")
+        self.wal = wal
+        self.fsync_batch = fsync_batch
+        self._flushing = None  # the in-flight flush future, if any
+        self.commits = 0  # completed fsync batches
+        self.committed_records = 0
+
+    async def commit(self, seq: int) -> int:
+        """Return once every record up to ``seq`` is durable."""
+        import asyncio
+
+        while self.wal.durable_seq < seq:
+            if self._flushing is None:
+                self._flushing = asyncio.ensure_future(self._flush_once())
+            flushing = self._flushing
+            # Shield: a cancelled waiter (dying connection) must not
+            # abort the fsync other waiters' acks depend on.
+            await asyncio.shield(flushing)
+        return self.wal.durable_seq
+
+    async def _flush_once(self) -> None:
+        import asyncio
+
+        loop = asyncio.get_event_loop()
+        try:
+            before = self.wal.durable_seq
+            await loop.run_in_executor(None, self.wal.sync, self.fsync_batch)
+            self.commits += 1
+            self.committed_records += self.wal.durable_seq - before
+        finally:
+            self._flushing = None
+
+    def __repr__(self) -> str:
+        return f"<WalCommitter batch={self.fsync_batch} {self.wal!r}>"
+
+
+# ----------------------------------------------------------------------
+# recovery: records + snapshots -> per-session ingest logs
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveredSession:
+    """One session as the WAL + snapshots prove it existed."""
+
+    session_id: str
+    n: int
+    protocol: str
+    log: List[Dict[str, object]]
+    #: Highest WAL seq that contributed (or the snapshot watermark when
+    #: every record was already covered); -1 for a snapshot-only session
+    #: whose snapshot predates the WAL.
+    wal_seq: int
+    from_snapshot: bool
+
+
+def recover_sessions(
+    records: Iterable[WalRecord],
+    snapshots: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Dict[str, RecoveredSession]:
+    """Fold verified WAL records over snapshot documents.
+
+    ``snapshots`` maps session id to its newest snapshot document
+    (``repro.serve.snapshots`` schema; ``wal_seq``/``log`` are what
+    matters here).  Per session the result is the snapshot's log plus
+    every record with ``idx`` at or past the snapshot log's length,
+    applied contiguously; a gap -- a record the chain proves existed
+    whose predecessors are neither in the WAL nor covered by a
+    snapshot -- raises :class:`WalCorruption` (halt over degrade).
+    """
+    snapshots = snapshots or {}
+    out: Dict[str, RecoveredSession] = {}
+    for session_id, doc in snapshots.items():
+        out[session_id] = RecoveredSession(
+            session_id=session_id,
+            n=int(doc["n"]),  # type: ignore[arg-type]
+            protocol=str(doc["protocol"]),
+            log=[dict(op) for op in doc["log"]],  # type: ignore[union-attr]
+            wal_seq=int(doc.get("wal_seq", -1)),  # type: ignore[arg-type]
+            from_snapshot=True,
+        )
+    for record in records:
+        session = out.get(record.session)
+        if record.idx == -1:
+            # Session creation.  Idempotent under a covering snapshot.
+            op = record.op
+            if session is None:
+                out[record.session] = RecoveredSession(
+                    session_id=record.session,
+                    n=int(op.get("n", -1)),  # type: ignore[arg-type]
+                    protocol=str(op.get("protocol", "")),
+                    log=[],
+                    wal_seq=record.seq,
+                    from_snapshot=False,
+                )
+            else:
+                session.wal_seq = max(session.wal_seq, record.seq)
+            continue
+        if session is None:
+            raise WalCorruption(
+                f"record seq {record.seq} mutates session "
+                f"{record.session!r} with no creation record and no "
+                f"snapshot -- the WAL prefix covering it is gone"
+            )
+        if record.idx < len(session.log):
+            # Already covered by the snapshot; the record is the
+            # snapshot's provenance, not new work.
+            session.wal_seq = max(session.wal_seq, record.seq)
+            continue
+        if record.idx > len(session.log):
+            raise WalCorruption(
+                f"session {record.session!r}: record seq {record.seq} has "
+                f"op index {record.idx} but only {len(session.log)} "
+                f"operations are recoverable before it"
+            )
+        session.log.append(dict(record.op))
+        session.wal_seq = max(session.wal_seq, record.seq)
+    return out

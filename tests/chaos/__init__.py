@@ -1,0 +1,6 @@
+"""Chaos tests: a real server process, real ``kill -9``, real recovery.
+
+Gated behind ``REPRO_CHAOS=1`` (see ``tests/chaos/test_serve_kill9.py``)
+and marked ``tier2``; ``REPRO_CHAOS_CELLS`` bounds how many randomized
+cells run (default keeps CI wall time small, 54 is the full grid).
+"""

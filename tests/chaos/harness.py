@@ -1,0 +1,356 @@
+"""The kill-9 harness: spawn, drive, murder, recover, audit.
+
+The contract under test is the WAL's one-line promise -- *an
+acknowledged frame survives an OS-level crash* -- plus its dual: *a
+frame that was never acknowledged is never fabricated by recovery*.
+The harness runs the daemon as a genuine subprocess, streams seeded
+load at it while a killer thread delivers ``SIGKILL`` at a randomized
+moment (optionally mid-snapshot or mid-graceful-drain), then audits the
+wreckage twice over:
+
+* **offline** -- :func:`repro.serve.wal.read_wal` +
+  :func:`~repro.serve.wal.recover_sessions` over the surviving
+  directories must yield, per session, an exact *prefix* of the ops the
+  driver sent, at least as long as the acked count (acked ⊆ recovered ⊆
+  sent, element-identical);
+* **online** -- a restarted server over the same directories must
+  report exactly that recovered state and keep serving.
+
+Everything is seeded: one cell is ``(seed, fsync_batch, kill_mode)``
+and replays identically.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket as socketlib
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.client import Client
+from repro.serve.snapshots import SnapshotStore
+from repro.serve.wal import RecoveredSession, read_wal, recover_sessions
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# server process management
+# ----------------------------------------------------------------------
+@dataclass
+class ServerDirs:
+    """The on-disk state a crash must not destroy."""
+
+    root: Path
+
+    @property
+    def sock(self) -> str:
+        return str(self.root / "serve.sock")
+
+    @property
+    def wal_dir(self) -> str:
+        return str(self.root / "wal")
+
+    @property
+    def snap_dir(self) -> str:
+        return str(self.root / "snaps")
+
+
+def spawn_server(
+    dirs: ServerDirs,
+    *,
+    fsync_batch: int,
+    workers: int = 2,
+    idle_timeout: Optional[float] = None,
+    timeout: float = 30.0,
+) -> subprocess.Popen:
+    """A real ``repro serve`` subprocess, returned once it is accepting."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--unix", dirs.sock,
+        "--wal-dir", dirs.wal_dir,
+        "--snapshot-dir", dirs.snap_dir,
+        "--fsync-batch", str(fsync_batch),
+        "--workers", str(workers),
+    ]
+    if idle_timeout is not None:
+        argv += ["--idle-timeout", str(idle_timeout)]
+    # A stale socket file from the killed predecessor would break bind.
+    if os.path.exists(dirs.sock):
+        os.unlink(dirs.sock)
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died during startup:\n{proc.stderr.read()}"
+            )
+        if os.path.exists(dirs.sock):
+            # Bound is not accepting: probe until a connect succeeds.
+            probe = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            try:
+                probe.connect(dirs.sock)
+                probe.close()
+                return proc
+            except OSError:
+                probe.close()
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("server did not come up in time")
+        time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# seeded load with ack bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class SessionLoad:
+    """What the driver sent and what the server acknowledged."""
+
+    session_id: str
+    n: int
+    protocol: str
+    sent: List[Dict[str, object]] = field(default_factory=list)
+    acked: int = 0
+    #: Server-assigned message ids of acked sends not yet delivered.
+    undelivered: List[int] = field(default_factory=list)
+
+
+@dataclass
+class DriveResult:
+    sessions: Dict[str, SessionLoad]
+    total_acked: int
+    died: bool  # the connection was severed mid-drive (the kill landed)
+
+
+def drive_load(
+    dirs: ServerDirs,
+    *,
+    seed: int,
+    sessions: int = 2,
+    n: int = 3,
+    protocol: str = "bhmr",
+    max_ops: int = 100_000,
+    snapshot_every: Optional[int] = None,
+    stop_flag: Optional[threading.Event] = None,
+) -> DriveResult:
+    """Stream seeded ops until the connection dies or ``max_ops`` land.
+
+    Ops are recorded in ``sent`` *before* the request goes out and
+    counted in ``acked`` only when the reply comes back, so after a
+    kill the driver knows the exact acked prefix per session (the
+    blocking client keeps at most one frame in flight).
+    """
+    rng = random.Random(seed)
+    loads = {
+        f"chaos-{seed}-{i}": SessionLoad(f"chaos-{seed}-{i}", n, protocol)
+        for i in range(sessions)
+    }
+    died = False
+    total_acked = 0
+    try:
+        client = Client(f"unix:{dirs.sock}", timeout=30.0)
+        for load in loads.values():
+            client.hello(load.session_id, n=load.n, protocol=load.protocol)
+        order = list(loads)
+        for op_i in range(max_ops):
+            if stop_flag is not None and stop_flag.is_set():
+                break
+            load = loads[order[op_i % len(order)]]
+            sid = load.session_id
+            choice = rng.random()
+            if load.undelivered and choice < 0.35:
+                mid = load.undelivered[0]
+                load.sent.append({"kind": "deliver", "msg_id": mid})
+                client.deliver(sid, msg_id=mid)
+                load.undelivered.pop(0)
+            elif choice < 0.70:
+                src = rng.randrange(n)
+                dst = (src + 1 + rng.randrange(n - 1)) % n
+                load.sent.append({"kind": "send", "src": src, "dst": dst})
+                reply = client.send(sid, src=src, dst=dst)
+                load.undelivered.append(int(reply["msg_id"]))  # type: ignore[arg-type]
+            else:
+                pid = rng.randrange(n)
+                load.sent.append({"kind": "checkpoint", "pid": pid})
+                client.checkpoint(sid, pid=pid)
+            load.acked += 1
+            total_acked += 1
+            if (
+                snapshot_every is not None
+                and op_i
+                and op_i % snapshot_every == 0
+            ):
+                client.snapshot(sid)
+    except (ConnectionError, OSError):
+        died = True
+    return DriveResult(sessions=loads, total_acked=total_acked, died=died)
+
+
+# ----------------------------------------------------------------------
+# the kill
+# ----------------------------------------------------------------------
+def killer(
+    proc: subprocess.Popen,
+    *,
+    seed: int,
+    mode: str,
+    min_delay: float = 0.02,
+    max_delay: float = 0.35,
+) -> threading.Thread:
+    """Arm a thread that SIGKILLs ``proc`` after a seeded random delay.
+
+    ``mode="drain"`` first sends ``SIGINT`` (starting the graceful
+    drain) and lands the ``SIGKILL`` a few milliseconds into it.
+    """
+    rng = random.Random((seed * 2654435761) & 0xFFFFFFFF)
+
+    def _run() -> None:
+        delay = min_delay + rng.random() * (max_delay - min_delay)
+        time.sleep(delay)
+        try:
+            if mode == "drain":
+                proc.send_signal(signal.SIGINT)
+                time.sleep(rng.random() * 0.05)
+            proc.kill()
+        except ProcessLookupError:
+            pass
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    return thread
+
+
+# ----------------------------------------------------------------------
+# the audit
+# ----------------------------------------------------------------------
+def recovered_offline(dirs: ServerDirs) -> Dict[str, RecoveredSession]:
+    """What an honest recovery of the surviving files must produce."""
+    store = SnapshotStore(dirs.snap_dir)
+    snapshots = {}
+    for sid in store.known():
+        doc = store.load(sid)
+        if doc is not None:
+            snapshots[sid] = doc
+    return recover_sessions(read_wal(dirs.wal_dir), snapshots)
+
+
+def assert_no_loss_no_phantoms(
+    result: DriveResult, recovered: Dict[str, RecoveredSession]
+) -> None:
+    """acked ⊆ recovered ⊆ sent, element-identical, per session."""
+    for sid, load in result.sessions.items():
+        rec = recovered.get(sid)
+        if rec is None:
+            assert load.acked == 0, (
+                f"{sid}: {load.acked} acked frames but recovery found "
+                f"no trace of the session -- acked data lost"
+            )
+            continue
+        got = len(rec.log)
+        assert load.acked <= got, (
+            f"{sid}: {load.acked} frames were acked but only {got} "
+            f"recovered -- acked data lost"
+        )
+        assert got <= len(load.sent), (
+            f"{sid}: recovered {got} frames but only {len(load.sent)} were "
+            f"ever sent -- recovery fabricated frames"
+        )
+        assert rec.log == load.sent[:got], (
+            f"{sid}: recovered log diverges from the sent prefix -- "
+            f"phantom or reordered frames"
+        )
+        assert rec.n == load.n and rec.protocol == load.protocol
+
+
+def restart_and_verify(
+    dirs: ServerDirs,
+    result: DriveResult,
+    recovered: Dict[str, RecoveredSession],
+) -> Dict[str, Dict[str, object]]:
+    """Restart over the same directories; the live server must agree.
+
+    Returns each session's post-recovery online answers (for the
+    differential layer on top of this audit).
+    """
+    from repro.serve.server import ServerConfig, serve_in_thread
+
+    config = ServerConfig(
+        unix_path=dirs.sock,
+        workers=2,
+        wal_dir=dirs.wal_dir,
+        snapshot_dir=dirs.snap_dir,
+    )
+    if os.path.exists(dirs.sock):
+        os.unlink(dirs.sock)
+    answers: Dict[str, Dict[str, object]] = {}
+    with serve_in_thread(config) as handle:
+        with Client(handle.connect_address()) as client:
+            for sid, load in sorted(result.sessions.items()):
+                rec = recovered.get(sid)
+                if rec is None:
+                    continue
+                reply = client.resume(sid)
+                assert reply["events"] == len(rec.log), (
+                    f"{sid}: restarted server recovered {reply['events']} "
+                    f"events, offline audit says {len(rec.log)}"
+                )
+                assert reply["recovered"] is True
+                assert int(reply["wal_seq"]) == rec.wal_seq  # type: ignore[arg-type]
+                answers[sid] = {
+                    "rdt_status": client.query(sid, "rdt_status"),
+                    "z_cycles": client.query(sid, "z_cycles"),
+                    "recovery_line": client.query(
+                        sid, "recovery_line", crashed=[0]
+                    ),
+                }
+                # The session is alive, not a husk: it keeps ingesting.
+                client.checkpoint(sid, pid=0)
+    return answers
+
+
+def run_cell(
+    tmp_path: Path,
+    *,
+    seed: int,
+    fsync_batch: int,
+    kill_mode: str,
+) -> Tuple[DriveResult, Dict[str, RecoveredSession]]:
+    """One full chaos cell: spawn, drive, kill, audit, restart-audit."""
+    dirs = ServerDirs(tmp_path)
+    proc = spawn_server(dirs, fsync_batch=fsync_batch)
+    snapshot_every = 40 if kill_mode == "snapshot" else None
+    stop_flag = threading.Event()
+    try:
+        kill_thread = killer(proc, seed=seed, mode=kill_mode)
+        result = drive_load(
+            dirs,
+            seed=seed,
+            snapshot_every=snapshot_every,
+            stop_flag=stop_flag,
+        )
+        kill_thread.join(timeout=10.0)
+        proc.wait(timeout=30.0)
+    finally:
+        stop_flag.set()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    recovered = recovered_offline(dirs)
+    assert_no_loss_no_phantoms(result, recovered)
+    restart_and_verify(dirs, result, recovered)
+    return result, recovered

@@ -143,3 +143,54 @@ def test_sync_helper_nested_in_async_def_is_flagged(linter):
         "    return helper()\n"
     )
     assert _codes(linter, source) == ["async:.recv"]
+
+
+def test_flags_os_fsync_in_async_def(linter):
+    source = (
+        "import os\n"
+        "async def flush(f):\n"
+        "    os.fsync(f.fileno())\n"
+        "    os.fdatasync(f.fileno())\n"
+    )
+    assert _codes(linter, source) == ["async:os.fsync", "async:os.fdatasync"]
+
+
+def test_sync_def_may_fsync(linter):
+    source = (
+        "import os\n"
+        "def flush(f):\n"
+        "    os.fsync(f.fileno())\n"
+    )
+    assert _codes(linter, source) == []
+
+
+def test_wall_clock_pragma_waives_only_its_line(linter):
+    source = (
+        "import time\n"
+        "a = time.time()  # lint: allow-wall-clock\n"
+        "b = time.time()\n"
+    )
+    assert _codes(linter, source) == ["time.time"]
+    violations = linter.check_source(Path("sample.py"), source)
+    assert violations[0].line == 3  # the unwaived call, not the waived one
+
+
+def test_wall_clock_pragma_waives_nothing_else(linter):
+    # The pragma is wall-clock-only: RNG and event-loop rules still fire.
+    source = (
+        "import random, time\n"
+        "x = random.random()  # lint: allow-wall-clock\n"
+        "async def tick():\n"
+        "    time.sleep(1)  # lint: allow-wall-clock\n"
+    )
+    assert _codes(linter, source) == ["async:time.sleep", "random.random"]
+
+
+def test_the_wal_header_is_the_only_waived_wall_clock(linter):
+    """The escape hatch stays greppable and rare: exactly one use today."""
+    uses = [
+        path
+        for path in sorted(SRC_ROOT.rglob("*.py"))
+        if "# lint: allow-wall-clock" in path.read_text(encoding="utf-8")
+    ]
+    assert [p.name for p in uses] == ["wal.py"]

@@ -92,3 +92,117 @@ def test_cells_cover_many_workloads_and_protocols():
     assert len(CELL_PARAMS) >= 20
     assert len(workloads) >= 4
     assert len(protocols) >= 5
+
+
+# ----------------------------------------------------------------------
+# the differential across a kill -9 boundary
+# ----------------------------------------------------------------------
+# A recovered session is not merely *alive*: it must be the same
+# analytical object.  Each cell streams half a trace into a real
+# subprocess server, SIGKILLs it, replays the surviving WAL offline,
+# restarts a server over the same directories and demands the online
+# answers match the offline replay byte for byte -- then finishes the
+# trace against the recovered session and checks the *full* run too.
+CRASH_CELLS = CELL_PARAMS[:4]
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize(
+    "workload,protocol,seed",
+    CRASH_CELLS,
+    ids=[f"{w}-{p}-{s}" for w, p, s in CRASH_CELLS],
+)
+def test_recovery_is_differentially_silent(tmp_path, workload, protocol, seed):
+    import os
+
+    from repro.serve.snapshots import SnapshotStore
+    from repro.serve.wal import read_wal, recover_sessions
+    from tests.chaos.harness import ServerDirs, spawn_server
+
+    trace = generate_trace(
+        N, WORKLOADS[workload](), duration=12.0, seed=seed, basic_rate=0.2
+    )
+    cut = max(1, len(trace.ops) // 2)
+    session_id = f"crash-{workload}-{protocol}-{seed}"
+    crashed = [seed % N]
+    dirs = ServerDirs(tmp_path)
+
+    # --- first life: half the trace, then kill -9 -------------------
+    proc = spawn_server(dirs, fsync_batch=8)
+    sent = {}
+    try:
+        client = Client(f"unix:{dirs.sock}", timeout=30.0)
+        client.hello(session_id, n=trace.n, protocol=protocol)
+        for op_i, op in enumerate(trace.ops[:cut]):
+            if op.kind is TraceOpKind.BASIC_CHECKPOINT:
+                client.checkpoint(session_id, pid=op.pid)
+            elif op.kind is TraceOpKind.SEND:
+                reply = client.send(session_id, src=op.pid, dst=op.peer)
+                sent[op.msg_id] = reply["msg_id"]
+            else:
+                client.deliver(session_id, msg_id=sent[op.msg_id])
+            if op_i == cut // 2:
+                # A mid-stream snapshot makes recovery exercise the
+                # snapshot-plus-WAL-tail path, not just pure replay.
+                client.snapshot(session_id)
+    finally:
+        proc.kill()
+        proc.wait(timeout=30.0)
+
+    # --- offline: replay the surviving WAL -------------------------
+    store = SnapshotStore(dirs.snap_dir)
+    snaps = {sid: store.load(sid) for sid in store.known()}
+    rec = recover_sessions(read_wal(dirs.wal_dir), snaps)[session_id]
+    # Every frame was acked before the kill and none was in flight, so
+    # recovery must land on exactly the driven prefix.
+    assert len(rec.log) == cut
+    offline = offline_answers(
+        session_id, N, protocol, rec.log, crashed=crashed
+    )
+
+    # --- second life: restart over the same directories ------------
+    if os.path.exists(dirs.sock):
+        os.unlink(dirs.sock)
+    config = ServerConfig(
+        unix_path=dirs.sock,
+        workers=3,
+        wal_dir=dirs.wal_dir,
+        snapshot_dir=dirs.snap_dir,
+    )
+    with serve_in_thread(config) as h2:
+        with Client(h2.connect_address()) as client:
+            greeting = client.resume(session_id)
+            assert greeting["events"] == cut
+            assert greeting["recovered"] is True
+            online = {
+                "rdt_status": client.query(session_id, "rdt_status"),
+                "z_cycles": client.query(session_id, "z_cycles"),
+                "recovery_line": client.query(
+                    session_id, "recovery_line", crashed=crashed
+                ),
+            }
+            assert canonical_dumps(online) == canonical_dumps(offline)
+
+            # The recovered session finishes the trace as if the crash
+            # never happened: the full run is differentially silent too.
+            for op in trace.ops[cut:]:
+                if op.kind is TraceOpKind.BASIC_CHECKPOINT:
+                    client.checkpoint(session_id, pid=op.pid)
+                elif op.kind is TraceOpKind.SEND:
+                    reply = client.send(session_id, src=op.pid, dst=op.peer)
+                    sent[op.msg_id] = reply["msg_id"]
+                else:
+                    client.deliver(session_id, msg_id=sent[op.msg_id])
+            online_full = {
+                "rdt_status": client.query(session_id, "rdt_status"),
+                "z_cycles": client.query(session_id, "z_cycles"),
+                "recovery_line": client.query(
+                    session_id, "recovery_line", crashed=crashed
+                ),
+            }
+        full_log = list(h2.server.sessions[session_id].ingest_log)
+    assert len(full_log) == len(trace.ops)
+    offline_full = offline_answers(
+        session_id, N, protocol, full_log, crashed=crashed
+    )
+    assert canonical_dumps(online_full) == canonical_dumps(offline_full)

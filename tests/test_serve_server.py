@@ -245,3 +245,87 @@ class TestApiFacade:
         with pytest.raises(ConnectionError):
             api.connect(f"unix:{tmp_path}/dead.sock", timeout=2.0)
         assert time.monotonic() - started < 5.0  # error, not a hang
+
+
+class TestSnapshotDurabilityRace:
+    """Frames racing snapshots and evictions: the commit barrier holds.
+
+    The regression of record: a frame arriving while the idle sweeper
+    was snapshotting its session could be snapshotted *before* its WAL
+    record was fsynced -- a crash then resurrected a frame whose ack
+    never left the server (a phantom), or dropped one whose ack did.
+    Both orderings are pinned here without killing anything: by reading
+    the WAL from disk right after each ack, and by replaying the trace
+    ordering of commits vs snapshots.
+    """
+
+    def test_acked_frames_are_on_disk_during_eviction_storm(self, tmp_path):
+        from repro.serve.wal import read_wal
+
+        config = ServerConfig(
+            unix_path=str(tmp_path / "race.sock"),
+            workers=2,
+            idle_timeout=0.05,  # the sweeper fires constantly
+            wal_dir=str(tmp_path / "wal"),
+            fsync_batch=4,
+        )
+        evictions = 0
+        with serve_in_thread(config) as handle:
+            with Client(handle.connect_address()) as c:
+                c.hello("s", n=3)
+                last_wal_seq = -1
+                for i in range(60):
+                    reply = c.checkpoint("s", pid=i % 3)
+                    assert reply["wal_seq"] > last_wal_seq, (
+                        "acks must carry strictly increasing WAL positions"
+                    )
+                    last_wal_seq = reply["wal_seq"]
+                    if i % 10 == 9:
+                        # Let the session go idle so the sweeper
+                        # snapshots + evicts it mid-conversation.
+                        time.sleep(0.12)
+                        evictions += 1
+                        # The ack we already hold must be durable *now*,
+                        # not at the next graceful close: a concurrent
+                        # kill -9 is allowed at any point of this loop.
+                        on_disk = read_wal(config.wal_dir)
+                        assert on_disk and on_disk[-1].seq >= last_wal_seq
+                status = c.query("s", "rdt_status")
+                assert status["events"] == 60
+        assert evictions == 6
+        # After the drain every record is durable and the chain intact.
+        assert read_wal(config.wal_dir)[-1].seq >= last_wal_seq
+
+    def test_trace_orders_every_snapshot_behind_a_commit(self, tmp_path):
+        tracer = Tracer()
+        config = ServerConfig(
+            unix_path=str(tmp_path / "order.sock"),
+            workers=2,
+            idle_timeout=0.05,
+            wal_dir=str(tmp_path / "wal"),
+            snapshot_dir=str(tmp_path / "snaps"),
+            fsync_batch=8,
+        )
+        with serve_in_thread(config, tracer=tracer) as handle:
+            with Client(handle.connect_address()) as c:
+                c.hello("s", n=3)
+                for i in range(40):
+                    c.checkpoint("s", pid=i % 3)
+                    if i % 13 == 12:
+                        c.snapshot("s")  # explicit, racing the sweeper
+                    if i % 10 == 9:
+                        time.sleep(0.12)  # and let the sweeper evict
+        commits = 0
+        durable = -1
+        snapshots = 0
+        for ev in tracer.events:
+            if ev.kind == "serve.wal.commit":
+                commits += 1
+                durable = max(durable, int(ev.fields["seq"]))
+            elif ev.kind == "serve.snapshot":
+                snapshots += 1
+                assert int(ev.fields["wal_seq"]) <= durable, (
+                    "a snapshot covered WAL records that were not yet "
+                    "durable when it was written"
+                )
+        assert commits > 0 and snapshots >= 3  # the race actually ran

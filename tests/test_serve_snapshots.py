@@ -46,8 +46,13 @@ class TestSnapshotRoundTrip:
     def test_snapshot_doc_is_json_safe(self):
         doc = snapshot_doc(busy_session())
         assert canonical_dumps(doc)  # no repr fallbacks, no cycles
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["events"] == len(doc["log"])
+        assert doc["wal_seq"] == -1  # no WAL attached
+
+    def test_snapshot_doc_records_wal_watermark(self):
+        doc = snapshot_doc(busy_session(), wal_seq=41)
+        assert doc["wal_seq"] == 41
 
     def test_tampered_log_fails_integrity_check(self):
         doc = snapshot_doc(busy_session())
@@ -109,3 +114,58 @@ class TestDirectoryStore:
         files = list(directory.glob("*.json"))
         assert len(files) == 1
         assert files[0].parent == directory
+
+
+class TestAtomicWrites:
+    """A crash mid-save leaves the old snapshot or the new -- never a torn one."""
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        directory = tmp_path / "snaps"
+        directory.mkdir()
+        junk = directory / "snap.json.tmp"
+        junk.write_text('{"half a snapsh')  # the crash caught mid-write
+        store = SnapshotStore(directory)
+        assert not junk.exists()
+        assert store.known() == []  # and it never masqueraded as real
+
+    def test_crash_before_rename_keeps_the_old_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        directory = tmp_path / "snaps"
+        store = SnapshotStore(directory)
+        session = busy_session()
+        first = store.save(session, wal_seq=3)
+
+        # Grow the session, then crash the save between fsync and
+        # rename: os.replace raising models the power cut exactly
+        # (the tmp file is complete, the directory entry is not).
+        session.apply({"kind": "checkpoint", "pid": 0})
+
+        def power_cut(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_module, "replace", power_cut)
+        with pytest.raises(OSError, match="simulated"):
+            store.save(session, wal_seq=9)
+        monkeypatch.undo()
+
+        # Recovery sees the *previous* snapshot, whole and verifiable.
+        survivor = SnapshotStore(directory)
+        doc = survivor.load("snap")
+        assert canonical_dumps(doc) == canonical_dumps(first)
+        assert restore_session(doc).ingest_log == session.ingest_log[:-1]
+
+        # And a clean retry supersedes it atomically.
+        second = survivor.save(session, wal_seq=9)
+        assert survivor.load("snap")["wal_seq"] == 9
+        assert second["events"] == first["events"] + 1
+
+    def test_tmp_artifacts_never_shadow_real_snapshots(self, tmp_path):
+        directory = tmp_path / "snaps"
+        store = SnapshotStore(directory)
+        store.save(busy_session())
+        (directory / "other.json.tmp").write_text("{}")
+        assert store.known() == ["snap"]
+        assert store.load("other") is None

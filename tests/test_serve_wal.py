@@ -1,0 +1,404 @@
+"""The ingest WAL: chain integrity, torn-tail repair, hostile disks.
+
+Two layers:
+
+* unit tests for the writer (append/sync/durable_seq, rotation, reopen,
+  snapshot-driven truncation) and for :func:`recover_sessions`;
+* hypothesis property tests that damage a real on-disk WAL -- truncate
+  at an arbitrary byte, flip an arbitrary bit, delete or swap whole
+  segments -- and assert the *detection contract*: :func:`read_wal`
+  either returns an exact prefix of the original records or raises
+  :class:`WalCorruption`.  It never returns fabricated or reordered
+  state, no matter where the damage lands.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.wal import (
+    GENESIS,
+    IngestWal,
+    WalCommitter,
+    WalCorruption,
+    WalError,
+    make_record,
+    read_wal,
+    recover_sessions,
+)
+
+
+def fill(directory, count, *, segment_records=8, session="s", fsync=False):
+    """A WAL with ``count`` checkpoint records, synced and closed."""
+    wal = IngestWal(directory, segment_records=segment_records, fsync=fsync)
+    for i in range(count):
+        wal.append(session, i, {"kind": "checkpoint", "pid": i % 3})
+    wal.sync()
+    wal.close()
+    return wal
+
+
+# ----------------------------------------------------------------------
+# writer basics
+# ----------------------------------------------------------------------
+class TestIngestWal:
+    def test_append_is_not_durable_until_sync(self, tmp_path):
+        wal = IngestWal(tmp_path, fsync=False)
+        wal.append("s", 0, {"kind": "checkpoint", "pid": 0})
+        assert wal.last_seq == 0 and wal.durable_seq == -1
+        assert read_wal(tmp_path) == []  # nothing on disk yet
+        assert wal.sync() == 0
+        assert wal.durable_seq == 0
+        assert [r.seq for r in read_wal(tmp_path)] == [0]
+
+    def test_sync_batches_and_partial_drain(self, tmp_path):
+        wal = IngestWal(tmp_path, fsync=False)
+        for i in range(5):
+            wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+        assert wal.sync(max_records=2) == 1
+        assert wal.pending() == 3
+        assert wal.sync() == 4
+        assert wal.pending() == 0
+
+    def test_chain_links_records(self, tmp_path):
+        fill(tmp_path, 4)
+        records = read_wal(tmp_path)
+        assert records[0].prev == GENESIS
+        for before, after in zip(records, records[1:]):
+            assert after.prev == before.digest
+            assert after.seq == before.seq + 1
+
+    def test_rotation_by_segment_records(self, tmp_path):
+        wal = fill(tmp_path, 10, segment_records=4)
+        assert wal.segment_names() == [
+            "wal-00000000000000000000.log",
+            "wal-00000000000000000004.log",
+            "wal-00000000000000000008.log",
+        ]
+        assert len(read_wal(tmp_path)) == 10
+
+    def test_reopen_resumes_the_chain(self, tmp_path):
+        fill(tmp_path, 5, segment_records=4)
+        wal = IngestWal(tmp_path, segment_records=4, fsync=False)
+        assert len(wal.recovered) == 5
+        assert wal.repaired_tail == 0
+        wal.append("s", 5, {"kind": "checkpoint", "pid": 1})
+        wal.sync()
+        wal.close()
+        records = read_wal(tmp_path)
+        assert [r.seq for r in records] == list(range(6))
+        assert records[5].prev == records[4].digest
+
+    def test_closed_wal_rejects_writes(self, tmp_path):
+        wal = fill(tmp_path, 1)
+        with pytest.raises(WalError, match="closed"):
+            wal.append("s", 1, {"kind": "checkpoint", "pid": 0})
+        with pytest.raises(WalError, match="closed"):
+            wal.sync()
+
+    def test_torn_tail_is_repaired_on_open(self, tmp_path):
+        fill(tmp_path, 3, segment_records=100)
+        path = next(tmp_path.glob("wal-*.log"))
+        with open(path, "ab") as f:
+            f.write(b'{"seq": 3, "ses')  # the crash mid-write
+        wal = IngestWal(tmp_path, fsync=False)
+        assert wal.repaired_tail == 1
+        assert len(wal.recovered) == 3
+        wal.close()
+        # The repair truncated the junk: a fresh open is clean.
+        assert IngestWal(tmp_path, fsync=False).repaired_tail == 0
+
+    def test_mid_file_damage_halts(self, tmp_path):
+        fill(tmp_path, 6, segment_records=100)
+        path = next(tmp_path.glob("wal-*.log"))
+        lines = path.read_bytes().split(b"\n")
+        lines[2] = b"garbage"  # record 1 of 6: records follow it
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(WalCorruption, match="not a torn tail"):
+            read_wal(tmp_path)
+
+    def test_truncate_covered_respects_watermarks(self, tmp_path):
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        for i in range(9):
+            wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        # Watermark 5 covers segments [0..2] and [3..5] but not [6..8],
+        # which is also the active segment and must survive regardless.
+        removed = wal.truncate_covered({"s": 5})
+        assert removed == [
+            "wal-00000000000000000000.log",
+            "wal-00000000000000000003.log",
+        ]
+        assert wal.segment_names() == ["wal-00000000000000000006.log"]
+        # The survivors no longer start the chain at GENESIS, and that
+        # is fine: recovery starts from the snapshot, not from seq 0.
+        wal.close()
+
+    def test_truncate_stops_at_first_uncovered_segment(self, tmp_path):
+        wal = IngestWal(tmp_path, segment_records=2, fsync=False)
+        for i in range(4):
+            wal.append("a" if i < 2 else "b", i % 2, {"kind": "checkpoint", "pid": 0})
+        # Force the writer past both segments so neither is active.
+        for i in range(2):
+            wal.append("c", i, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        # 'a' is covered, 'b' is not: only the first segment may go.
+        assert wal.truncate_covered({"a": 10}) == [
+            "wal-00000000000000000000.log"
+        ]
+        wal.close()
+
+    def test_read_missing_directory_is_empty(self, tmp_path):
+        assert read_wal(tmp_path / "never-created") == []
+
+
+# ----------------------------------------------------------------------
+# group commit
+# ----------------------------------------------------------------------
+class TestWalCommitter:
+    def test_many_waiters_share_fsyncs(self, tmp_path):
+        async def scenario():
+            wal = IngestWal(tmp_path, fsync=True)
+            committer = WalCommitter(wal, fsync_batch=64)
+            records = [
+                wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+                for i in range(16)
+            ]
+            await asyncio.gather(
+                *(committer.commit(r.seq) for r in records)
+            )
+            assert wal.durable_seq == 15
+            wal.close()
+            return wal.fsyncs
+
+        fsyncs = asyncio.run(scenario())
+        # 16 concurrent commits over batch=64 coalesce; the exact count
+        # depends on scheduling but must be far below one-per-record.
+        assert 1 <= fsyncs <= 4
+
+    def test_small_batch_caps_records_per_fsync(self, tmp_path):
+        async def scenario():
+            wal = IngestWal(tmp_path, fsync=False)
+            committer = WalCommitter(wal, fsync_batch=2)
+            for i in range(6):
+                wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+            await committer.commit(5)
+            wal.close()
+            return committer.commits
+
+        assert asyncio.run(scenario()) == 3  # 6 records / batch of 2
+
+    def test_bad_batch_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="positive"):
+            WalCommitter(IngestWal(tmp_path, fsync=False), fsync_batch=0)
+
+
+# ----------------------------------------------------------------------
+# recovery folding
+# ----------------------------------------------------------------------
+def _records(ops):
+    """Chain ``(session, idx, op)`` triples into verified records."""
+    out, prev = [], GENESIS
+    for seq, (session, idx, op) in enumerate(ops):
+        record = make_record(seq, session, idx, op, prev)
+        out.append(record)
+        prev = record.digest
+    return out
+
+
+class TestRecoverSessions:
+    def test_wal_only_session(self):
+        records = _records(
+            [
+                ("s", -1, {"kind": "hello", "n": 3, "protocol": "bhmr"}),
+                ("s", 0, {"kind": "checkpoint", "pid": 0}),
+                ("s", 1, {"kind": "send", "src": 0, "dst": 1}),
+            ]
+        )
+        rec = recover_sessions(records)["s"]
+        assert (rec.n, rec.protocol, rec.from_snapshot) == (3, "bhmr", False)
+        assert rec.log == [
+            {"kind": "checkpoint", "pid": 0},
+            {"kind": "send", "src": 0, "dst": 1},
+        ]
+        assert rec.wal_seq == 2
+
+    def test_snapshot_plus_tail(self):
+        snapshot = {
+            "n": 2,
+            "protocol": "bhmr",
+            "log": [{"kind": "checkpoint", "pid": 0}],
+            "wal_seq": 1,
+        }
+        records = _records(
+            [
+                ("s", 1, {"kind": "checkpoint", "pid": 1}),
+                ("s", 2, {"kind": "checkpoint", "pid": 0}),
+            ]
+        )
+        rec = recover_sessions(records, {"s": snapshot})["s"]
+        assert rec.from_snapshot
+        assert len(rec.log) == 3
+        assert rec.wal_seq == records[-1].seq
+
+    def test_covered_records_are_idempotent(self):
+        snapshot = {
+            "n": 2,
+            "protocol": "bhmr",
+            "log": [
+                {"kind": "checkpoint", "pid": 0},
+                {"kind": "checkpoint", "pid": 1},
+            ],
+            "wal_seq": 2,
+        }
+        records = _records(
+            [
+                ("s", -1, {"kind": "hello", "n": 2, "protocol": "bhmr"}),
+                ("s", 0, {"kind": "checkpoint", "pid": 0}),
+                ("s", 1, {"kind": "checkpoint", "pid": 1}),
+            ]
+        )
+        rec = recover_sessions(records, {"s": snapshot})["s"]
+        assert len(rec.log) == 2  # nothing double-applied
+
+    def test_orphan_mutation_halts(self):
+        records = _records([("ghost", 0, {"kind": "checkpoint", "pid": 0})])
+        with pytest.raises(WalCorruption, match="no creation record"):
+            recover_sessions(records)
+
+    def test_index_gap_halts(self):
+        records = _records(
+            [
+                ("s", -1, {"kind": "hello", "n": 2, "protocol": "bhmr"}),
+                ("s", 3, {"kind": "checkpoint", "pid": 0}),  # 0..2 missing
+            ]
+        )
+        with pytest.raises(WalCorruption, match="op index 3"):
+            recover_sessions(records)
+
+
+# ----------------------------------------------------------------------
+# hostile disks (property tests)
+# ----------------------------------------------------------------------
+def _damage_outcome(directory, original):
+    """read_wal's verdict on a damaged directory, checked against the
+    detection contract; returns the recovered prefix length or None on
+    a (legitimate) halt."""
+    try:
+        records = read_wal(directory)
+    except WalCorruption:
+        return None
+    docs = [r.as_doc() for r in records]
+    assert docs == [r.as_doc() for r in original[: len(docs)]], (
+        "recovered records are not a prefix of what was written"
+    )
+    return len(docs)
+
+
+@pytest.mark.tier2
+class TestHostileDisk:
+    @given(
+        count=st.integers(min_value=1, max_value=24),
+        segment_records=st.sampled_from([3, 8, 100]),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_yields_prefix_or_halt(
+        self, tmp_path_factory, count, segment_records, data
+    ):
+        directory = tmp_path_factory.mktemp("wal")
+        fill(directory, count, segment_records=segment_records)
+        original = read_wal(directory)
+        paths = sorted(directory.glob("wal-*.log"))
+        # Bounds must not depend on on-disk sizes (the segment header
+        # carries a wall-clock timestamp whose width varies run to
+        # run, and hypothesis rightly rejects unstable draw bounds):
+        # draw scale-free integers and reduce them modulo the layout.
+        victim = data.draw(st.integers(0, 2**32), label="segment") % len(paths)
+        path = paths[victim]
+        size = path.stat().st_size
+        offset = data.draw(st.integers(0, 2**32), label="offset") % size
+        with open(path, "r+b") as f:
+            f.truncate(offset)
+        survived = _damage_outcome(directory, original)
+        if victim == len(paths) - 1:
+            # Tail truncation is exactly what a crash does: always
+            # recoverable to a prefix, never a halt.
+            assert survived is not None
+        # A truncated *interior* segment may halt (seq gap) -- and when
+        # the truncation lands on a line boundary it silently shortens
+        # the chain, which the next header's prev/first_seq catches.
+
+    @given(
+        count=st.integers(min_value=1, max_value=24),
+        segment_records=st.sampled_from([3, 8, 100]),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_flip_never_fabricates_state(
+        self, tmp_path_factory, count, segment_records, data
+    ):
+        directory = tmp_path_factory.mktemp("wal")
+        fill(directory, count, segment_records=segment_records)
+        original = read_wal(directory)
+        paths = sorted(directory.glob("wal-*.log"))
+        # Scale-free draws; see test_truncation_yields_prefix_or_halt.
+        path = paths[data.draw(st.integers(0, 2**32), label="segment") % len(paths)]
+        blob = bytearray(path.read_bytes())
+        byte_i = data.draw(st.integers(0, 2**32), label="byte") % len(blob)
+        bit = data.draw(st.integers(min_value=0, max_value=7), label="bit")
+        blob[byte_i] ^= 1 << bit
+        path.write_bytes(bytes(blob))
+        # Prefix-or-halt; a flip confined to a header's operational
+        # metadata (the timestamp) may legitimately recover everything.
+        _damage_outcome(directory, original)
+
+    @given(count=st.integers(min_value=7, max_value=24), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_deleted_segment_is_detected(
+        self, tmp_path_factory, count, data
+    ):
+        directory = tmp_path_factory.mktemp("wal")
+        fill(directory, count, segment_records=3)  # >= 3 segments
+        original = read_wal(directory)
+        paths = sorted(directory.glob("wal-*.log"))
+        victim = data.draw(st.sampled_from(range(len(paths))))
+        paths[victim].unlink()
+        survived = _damage_outcome(directory, original)
+        if victim == len(paths) - 1:
+            # Deleting the tail loses only unsnapshotted suffix records:
+            # the remainder -- 3 per surviving full segment -- is a
+            # verifiable prefix.
+            assert survived == 3 * victim
+        else:
+            # An interior or leading hole breaks the chain: halt.
+            assert survived is None
+
+    @given(count=st.integers(min_value=7, max_value=24), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_swapped_segments_are_detected(
+        self, tmp_path_factory, count, data
+    ):
+        directory = tmp_path_factory.mktemp("wal")
+        fill(directory, count, segment_records=3)
+        paths = sorted(directory.glob("wal-*.log"))
+        i = data.draw(st.sampled_from(range(len(paths) - 1)), label="i")
+        j = data.draw(
+            st.sampled_from(range(i + 1, len(paths))), label="j"
+        )
+        a, b = paths[i].read_bytes(), paths[j].read_bytes()
+        paths[i].write_bytes(b)
+        paths[j].write_bytes(a)
+        with pytest.raises(WalCorruption):
+            read_wal(directory)
+
+    def test_mixed_damage_diagnostic_names_the_segment(self, tmp_path):
+        fill(tmp_path, 9, segment_records=3)
+        victim = sorted(tmp_path.glob("wal-*.log"))[1]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(WalCorruption, match=victim.name):
+            read_wal(tmp_path)

@@ -13,3 +13,14 @@ python tools/lint_determinism.py
 
 echo "== tier-1: pytest =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+# Chaos stage (opt-in: spawns real server subprocesses and kill -9s
+# them).  REPRO_CHAOS=1 enables it; REPRO_CHAOS_CELLS picks how many
+# randomized (seed, fsync-batch, kill-mode) cells run -- the default
+# below is a small smoke budget, 54 is the full grid.
+if [ "${REPRO_CHAOS:-0}" = "1" ]; then
+    echo "== chaos: kill -9 durability grid (${REPRO_CHAOS_CELLS:-6} cells) =="
+    REPRO_CHAOS=1 REPRO_CHAOS_CELLS="${REPRO_CHAOS_CELLS:-6}" \
+        PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest tests/chaos -x -q
+fi
