@@ -182,6 +182,10 @@ class CheckpointServer:
         #: Sessions rebuilt from WAL/snapshot replay at startup.
         self._recovered: Dict[str, int] = {}
         self.recovered_records = 0
+        #: The exception that broke the WAL (ENOSPC, EIO...), once a
+        #: group commit has failed; the server is halted-over-degraded
+        #: from then on (see :meth:`_fail_wal`).
+        self._wal_failed: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -309,14 +313,34 @@ class CheckpointServer:
             sid: len(session.ingest_log)
             for sid, session in sorted(self.sessions.items())
         }
-        if self.wal is not None:
+        if self.wal is not None and self._wal_failed is None:
             # Workers committed their final batches during the drain;
             # this is a belt-and-braces flush before snapshotting.
-            self.wal.sync()
-        for session in self.sessions.values():
-            self._save_snapshot(session)
+            try:
+                self.wal.sync()
+            except Exception as exc:  # noqa: BLE001 - failing disk
+                self._fail_wal(exc)
+        if self._wal_failed is None:
+            for session in self.sessions.values():
+                self._save_snapshot(session)
+        else:
+            # Snapshotting after a WAL failure would stamp wal_seq
+            # watermarks over frames that were never durably acked,
+            # resurrecting them as phantoms on recovery.  The durable
+            # prefix + the old snapshots already describe exactly the
+            # acked state; leave them be.
+            self._trace(
+                "serve.stop.degraded", sessions=len(summary),
+                error=str(self._wal_failed),
+            )
         if self.wal is not None:
-            self.wal.close()
+            if self._wal_failed is None:
+                self.wal.close()
+            else:
+                try:
+                    self.wal.close()
+                except Exception:  # noqa: BLE001 - the disk already failed
+                    pass
         self._trace("serve.stop", sessions=len(summary))
         self.sessions.clear()
         for conn in list(self._conns):
@@ -399,6 +423,11 @@ class CheckpointServer:
         if kind == "bye":
             await conn.reply({"ok": True, "seq": seq, "bye": True})
             return False
+        if self._wal_failed is not None:
+            # Halted (see _fail_wal): refuse rather than accept frames
+            # whose acks could never be made durable.
+            await conn.reply(self._wal_failed_reply(doc))
+            return False
         if kind not in _KNOWN_KINDS:
             await conn.reply(
                 wire.error_reply(seq, "bad_request", f"unknown kind {kind!r}")
@@ -463,12 +492,27 @@ class CheckpointServer:
             touched: List[_Conn] = []
             for item in items:
                 doc, conn = item
+                if self._wal_failed is not None:
+                    # Halted: nothing gets applied or acked any more,
+                    # but every already-queued frame still gets an
+                    # explicit error instead of a silent hang.
+                    if conn is not None:
+                        replies.append((conn, self._wal_failed_reply(doc)))
+                        if not any(c is conn for c in touched):
+                            touched.append(conn)
+                    continue
                 if conn is None:  # internal housekeeping op
-                    await self._commit_wal()  # durability before snapshot
-                    self._evict_if_idle(str(doc["session"]))
+                    # Durability before snapshot: an eviction snapshot
+                    # must never cover a frame that is not yet durable.
+                    if await self._commit_wal_guarded():
+                        self._evict_if_idle(str(doc["session"]))
                     continue
                 if doc.get("kind") == "snapshot":
-                    await self._commit_wal()
+                    if not await self._commit_wal_guarded():
+                        replies.append((conn, self._wal_failed_reply(doc)))
+                        if not any(c is conn for c in touched):
+                            touched.append(conn)
+                        continue
                 try:
                     if self.metrics is not None:
                         started = perf_counter()
@@ -492,7 +536,17 @@ class CheckpointServer:
                     )
                 if not any(c is conn for c in touched):
                     touched.append(conn)
-            await self._commit_wal()
+            if self._wal_failed is None and not await self._commit_wal_guarded():
+                # The batch's records never became durable, so none of
+                # the held-back acks may leave: every frame of the
+                # batch is answered with an explicit wal_failure error
+                # instead (its durability is unknown; the client must
+                # treat it as unacked and resend after recovery).
+                replies = [
+                    (conn, self._wal_failed_reply(doc))
+                    for doc, conn in items
+                    if conn is not None
+                ]
             for conn, reply in replies:
                 try:
                     conn.push(reply)
@@ -507,6 +561,53 @@ class CheckpointServer:
                 if item[1] is not None:
                     item[1].done()
                 queue.task_done()
+
+    async def _commit_wal_guarded(self) -> bool:
+        """:meth:`_commit_wal`, halting the server on commit failure.
+
+        Returns True when everything appended is durable.  A failing
+        disk (ENOSPC, EIO...) must not kill the shard worker silently
+        -- that would hang every queued frame with no reply while the
+        in-memory state ran ahead of the durable record.  Instead the
+        failure trips :meth:`_fail_wal` once, and callers answer their
+        held-back frames with explicit errors.
+        """
+        try:
+            await self._commit_wal()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any disk/OS failure
+            self._fail_wal(exc)
+            return False
+        return True
+
+    def _fail_wal(self, exc: BaseException) -> None:
+        """Halt over degrade: the WAL can no longer make acks durable.
+
+        In-memory sessions are ahead of the durable record (frames were
+        applied whose commit failed), so continuing to serve -- or
+        snapshotting at shutdown, which would stamp a watermark over
+        never-acked frames -- would fabricate durability.  Intake stops
+        (listener closed, dispatch refuses frames), queued frames get
+        ``wal_failure`` errors, and :meth:`stop` skips the snapshot
+        pass.  Matches the WAL's own halt-over-degrade policy.
+        """
+        if self._wal_failed is not None:
+            return
+        self._wal_failed = exc
+        self._trace("serve.wal.failed", error=str(exc))
+        if self.metrics is not None:
+            self.metrics.inc("serve.wal.failures")
+        if self._server is not None:
+            self._server.close()
+
+    def _wal_failed_reply(self, doc: Dict[str, object]) -> Dict[str, object]:
+        return wire.error_reply(
+            doc.get("seq"),
+            "wal_failure",
+            f"ingest WAL commit failed ({self._wal_failed}); "
+            f"frame not durable, treat as unacknowledged",
+        )
 
     async def _commit_wal(self) -> None:
         """Make every appended WAL record durable; no-op without a WAL."""

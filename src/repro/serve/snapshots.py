@@ -125,6 +125,17 @@ class SnapshotStore:
         partially-written file that would halt recovery.  The payload
         is fsynced before the rename and the directory entry after it,
         so the rename itself is durable too.
+
+        Deliberate trade-off: these fsyncs run synchronously on the
+        caller's thread, which on the server is the event loop (the
+        snapshot path is sync end to end, so the async-blocking lint
+        rule does not see it -- see ``tools/lint_determinism.py``).
+        Unlike the per-frame WAL fsync, which the group committer
+        routes through an executor, snapshots are rare (idle eviction,
+        explicit ``snapshot`` frames, shutdown) and the durability
+        ordering requires the write to complete before the eviction or
+        ack proceeds; stalling the loop for one bounded barrier is the
+        simple, correct choice until profiling says otherwise.
         """
         import os
 

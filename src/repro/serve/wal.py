@@ -24,7 +24,11 @@ Three layers, smallest surface first:
 * :class:`IngestWal` -- the synchronous writer: buffered appends,
   explicit :meth:`~IngestWal.sync` (write + ``os.fsync``) batches,
   segment rotation, and snapshot-driven segment reclamation
-  (:meth:`~IngestWal.truncate_covered`).
+  (:meth:`~IngestWal.truncate_covered`).  Reclamation durably records
+  a *reclamation anchor* (``wal-anchor.json``) naming where the chain
+  now starts, so a reopen can verify a WAL whose first segments were
+  legitimately deleted -- while a chain starting past seq 0 with no
+  anchor is still detected as leading-segment loss.
 * :class:`WalCommitter` -- the asyncio group-commit front end: many
   shard workers ``await commit(seq)`` concurrently, one ``fsync``
   (run in an executor so the event loop never blocks on the disk)
@@ -87,6 +91,14 @@ GENESIS = "0" * 64
 #: lexicographic order is numeric order.
 _SEGMENT_FMT = "wal-{:020d}.log"
 _SEGMENT_GLOB = "wal-*.log"
+
+#: The reclamation anchor: written durably by ``truncate_covered``
+#: *before* it unlinks leading segments, recording the header (first
+#: seq + chain digest) of the first surviving segment.  It is what lets
+#: a later open start the chain mid-stream instead of at GENESIS --
+#: without it, a chain that does not start at seq 0 is treated as
+#: leading-segment deletion and halts.
+_ANCHOR_NAME = "wal-anchor.json"
 
 
 @dataclass(frozen=True)
@@ -182,6 +194,44 @@ def _segment_paths(directory: Path) -> List[Path]:
     return sorted(directory.glob(_SEGMENT_GLOB))
 
 
+def _peek_header(path: Path) -> Optional[Dict[str, object]]:
+    """The segment's header document, when its first line is intact."""
+    with open(path, "rb") as f:
+        line = f.readline()
+    if not line.endswith(b"\n"):
+        return None
+    doc = _parse_line(line[:-1])
+    if (
+        doc is None
+        or doc.get("wal") != 1
+        or not isinstance(doc.get("first_seq"), int)
+        or not isinstance(doc.get("prev"), str)
+    ):
+        return None
+    return doc
+
+
+def _read_anchor(directory: Path) -> Optional[Tuple[int, str]]:
+    """``(first_seq, prev)`` of the reclamation anchor, if one exists.
+
+    Raises :class:`WalCorruption` when the anchor file is present but
+    unreadable -- callers only ask for it when the chain actually needs
+    an anchor, so a broken one is indistinguishable from lost history.
+    """
+    path = directory / _ANCHOR_NAME
+    if not path.exists():
+        return None
+    doc = _parse_line(path.read_bytes().strip())
+    if (
+        doc is None
+        or doc.get("wal_anchor") != 1
+        or not isinstance(doc.get("first_seq"), int)
+        or not isinstance(doc.get("prev"), str)
+    ):
+        raise WalCorruption(f"{path.name}: unreadable reclamation anchor")
+    return int(doc["first_seq"]), str(doc["prev"])  # type: ignore[arg-type]
+
+
 @dataclass
 class _Scan:
     """What scanning the segment directory established."""
@@ -192,18 +242,66 @@ class _Scan:
     torn: Optional[Tuple[Path, int]]
     #: Records dropped as the torn tail (diagnostic only).
     dropped: int
+    #: Where the chain resumes: the seq the next appended record takes
+    #: and the digest it links from.  Derivable from ``records`` only
+    #: when the scan started at GENESIS; after snapshot-driven segment
+    #: reclamation (or a tail torn down to a bare header) the anchor /
+    #: header carries the truth even with zero surviving records.
+    next_seq: int = 0
+    prev: str = GENESIS
 
 
 def _scan(directory: Path) -> _Scan:
     """Verify every segment; recover the longest provable prefix.
 
     Raises :class:`WalCorruption` for any damage that is not a pure
-    tail of the final segment.
+    tail of the final segment.  When leading segments were reclaimed by
+    ``truncate_covered`` (their records all covered by durable
+    snapshots), the chain legitimately starts past seq 0: the
+    reclamation anchor -- written before the first unlink -- vouches
+    for the new starting point, and the scan seeds ``prev``/``seq``
+    from it instead of GENESIS.  A chain starting past 0 *without* an
+    anchor is leading-segment deletion: halt.
     """
     paths = _segment_paths(directory)
     records: List[WalRecord] = []
     prev = GENESIS
     next_seq = 0
+    if not paths:
+        if (directory / _ANCHOR_NAME).exists():
+            raise WalCorruption(
+                "reclamation anchor present but no segment files -- the "
+                "segments were deleted out from under it"
+            )
+        return _Scan([], torn=None, dropped=0)
+    anchor_check: Optional[Tuple[int, str]] = None
+    head = _peek_header(paths[0])
+    first_seq = int(head["first_seq"]) if head is not None else 0  # type: ignore[arg-type]
+    if first_seq > 0:
+        anchor = _read_anchor(directory)
+        if anchor is None:
+            raise WalCorruption(
+                f"{paths[0].name}: chain starts at seq {first_seq} with no "
+                f"reclamation anchor -- leading segments are missing"
+            )
+        a_seq, a_prev = anchor
+        if first_seq > a_seq:
+            raise WalCorruption(
+                f"{paths[0].name}: chain starts at seq {first_seq} but the "
+                f"reclamation anchor only covers up to seq {a_seq} -- "
+                f"segments past the anchor are missing"
+            )
+        if first_seq == a_seq:
+            next_seq, prev = a_seq, a_prev
+        else:
+            # A crash between the anchor write and the unlinks left
+            # extra leading segments behind.  Their records are all
+            # snapshot-covered (that is why they were reclaimable), so
+            # seed the chain from this segment's own header; every
+            # following digest verifies it forward, and the anchored
+            # segment's header re-checks it against the anchor.
+            next_seq, prev = first_seq, str(head["prev"])  # type: ignore[index]
+            anchor_check = anchor
     for p_i, path in enumerate(paths):
         final_segment = p_i == len(paths) - 1
         data = path.read_bytes()
@@ -234,6 +332,15 @@ def _scan(directory: Path) -> _Scan:
                     raise WalCorruption(
                         f"{path.name}: segment header does not continue "
                         f"the chain (prev mismatch)"
+                    )
+                elif (
+                    anchor_check is not None
+                    and doc.get("first_seq") == anchor_check[0]
+                    and doc.get("prev") != anchor_check[1]
+                ):
+                    raise WalCorruption(
+                        f"{path.name}: segment header disagrees with the "
+                        f"reclamation anchor at seq {anchor_check[0]}"
                     )
                 else:
                     expect_header = False
@@ -270,11 +377,17 @@ def _scan(directory: Path) -> _Scan:
                             f"follow it -- not a torn tail"
                         )
                 dropped = sum(1 for l in (line, *rest) if l.strip())
-                return _Scan(records, torn=(path, offset), dropped=dropped)
+                return _Scan(
+                    records,
+                    torn=(path, offset),
+                    dropped=dropped,
+                    next_seq=next_seq,
+                    prev=prev,
+                )
             offset += len(line) + 1
         if expect_header and data:
             raise WalCorruption(f"{path.name}: no segment header")
-    return _Scan(records, torn=None, dropped=0)
+    return _Scan(records, torn=None, dropped=0, next_seq=next_seq, prev=prev)
 
 
 def read_wal(directory: Union[str, Path]) -> List[WalRecord]:
@@ -322,22 +435,43 @@ class IngestWal:
                 os.fsync(f.fileno())
             self.repaired_tail = scan.dropped
         self.recovered: List[WalRecord] = scan.records
-        self._prev = scan.records[-1].digest if scan.records else GENESIS
-        self._next_seq = scan.records[-1].seq + 1 if scan.records else 0
+        # Seed the chain from the scan, not from recovered records: after
+        # snapshot-driven reclamation (or a tail torn down to its bare
+        # header) the chain resumes past the last surviving record.
+        self._prev = scan.prev
+        self._next_seq = scan.next_seq
         self.durable_seq = self._next_seq - 1
         self._pending: Deque[WalRecord] = deque()
         self._file = None
         self._segment_path: Optional[Path] = None
         self._segment_count = 0
-        # Resume the final segment if it has room, else rotate lazily.
+        # A crash mid-anchor-write can leave the tmp file behind; the
+        # real anchor (if any) is intact, so the stale tmp is garbage.
+        stale_anchor = self.directory / (_ANCHOR_NAME + ".tmp")
+        if stale_anchor.exists():
+            stale_anchor.unlink()
         paths = _segment_paths(self.directory)
+        if paths and paths[-1].stat().st_size == 0:
+            # A torn tail can eat the final segment's very header; the
+            # repair above then leaves an empty file.  Resuming it
+            # would append records under no header, so drop it and let
+            # the next sync recreate the segment cleanly.
+            paths[-1].unlink()
+            paths = _segment_paths(self.directory)
         if paths:
             self._segment_path = paths[-1]
-            tail = [r for r in scan.records]
             # Count of records already in the final segment: those with
             # seq >= its first_seq (from the file name).
             first = int(paths[-1].name[len("wal-") : -len(".log")])
-            self._segment_count = sum(1 for r in tail if r.seq >= first)
+            self._segment_count = sum(1 for r in scan.records if r.seq >= first)
+            if self._segment_count < self.segment_records:
+                # Genuinely resume the final segment in place (the torn
+                # tail, if any, was truncated above): reopening it for
+                # append is what keeps ``_open_segment`` from ever
+                # colliding with an existing file -- e.g. a tail torn
+                # down to its bare header, whose next record must land
+                # *after* that header, not under a second one.
+                self._file = open(self._segment_path, "ab")
         self.fsyncs = 0
         self.rotations: List[str] = []
         self.closed = False
@@ -365,6 +499,16 @@ class IngestWal:
     # ------------------------------------------------------------------
     def _open_segment(self, first_seq: int, prev: str) -> None:
         path = self.directory / _SEGMENT_FMT.format(first_seq)
+        if path.exists():
+            # Resume (in __init__) owns every existing-file case; an
+            # existing segment here means the writer's idea of the
+            # chain has diverged from the directory.  Appending would
+            # bury a second header mid-file and corrupt the segment, so
+            # fail loudly instead (and open with "x" as a backstop).
+            raise WalError(
+                f"segment {path.name} already exists; refusing to "
+                f"overwrite or double-header it"
+            )
         self._segment_path = path
         self._segment_count = 0
         self.rotations.append(path.name)
@@ -376,7 +520,7 @@ class IngestWal:
             # enters a digest, a trace or any deterministic artifact.
             "created_unix": time.time(),  # lint: allow-wall-clock
         }
-        self._file = open(path, "ab")
+        self._file = open(path, "xb")
         self._file.write(canonical_bytes(header) + b"\n")
 
     def sync(self, max_records: Optional[int] = None) -> int:
@@ -427,33 +571,78 @@ class IngestWal:
     def segment_names(self) -> List[str]:
         return [p.name for p in _segment_paths(self.directory)]
 
+    def _segment_covered(self, path: Path, watermarks: Dict[str, int]) -> bool:
+        """Every record in the segment is at or below its session's mark."""
+        for line in path.read_bytes().split(b"\n"):
+            if not line.strip():
+                continue
+            doc = _parse_line(line)
+            if doc is None or doc.get("wal") == 1:
+                continue
+            session = doc.get("session")
+            seq = doc.get("seq")
+            if watermarks.get(str(session), -1) < int(seq):  # type: ignore[arg-type]
+                return False
+        return True
+
+    def _write_anchor(self, first_seq: int, prev: str) -> None:
+        """Durably record where the chain resumes after reclamation.
+
+        Atomic (write-tmp, fsync, rename, fsync directory): a crash at
+        any point leaves either the previous anchor or the new one,
+        never a torn file -- and the anchor is on disk *before* the
+        first unlink, so a reopen always finds it when it finds a chain
+        that no longer starts at GENESIS.
+        """
+        doc = {"wal_anchor": 1, "first_seq": first_seq, "prev": prev}
+        path = self.directory / _ANCHOR_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as f:
+            f.write(canonical_bytes(doc) + b"\n")
+            f.flush()
+            if self.fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+        if self.fsync:
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+
     def truncate_covered(self, watermarks: Dict[str, int]) -> List[str]:
         """Reclaim closed segments fully covered by session snapshots.
 
         ``watermarks[session]`` is the highest WAL seq a durable
         snapshot of that session covers.  A segment is deleted only
         when *every* record in it belongs to a session whose watermark
-        is at or past that record -- and never the active segment.
+        is at or past that record -- and never the active segment nor
+        the final one (the chain needs a surviving anchor segment).
+        Before the first unlink, the first surviving segment's header
+        is recorded in the reclamation anchor (:meth:`_write_anchor`)
+        so the next open can verify a chain that starts past seq 0.
         Returns the deleted file names.
         """
-        removed: List[str] = []
-        for path in _segment_paths(self.directory):
+        paths = _segment_paths(self.directory)
+        deletable: List[Path] = []
+        for path in paths[:-1]:
             if path == self._segment_path:
                 break  # never the active tail
-            covered = True
-            for line in path.read_bytes().split(b"\n"):
-                if not line.strip():
-                    continue
-                doc = _parse_line(line)
-                if doc is None or doc.get("wal") == 1:
-                    continue
-                session = doc.get("session")
-                seq = doc.get("seq")
-                if watermarks.get(str(session), -1) < int(seq):  # type: ignore[arg-type]
-                    covered = False
-                    break
-            if not covered:
+            if not self._segment_covered(path, watermarks):
                 break  # segments are ordered; later ones end even higher
+            deletable.append(path)
+        if not deletable:
+            return []
+        survivor = paths[len(deletable)]
+        head = _peek_header(survivor)
+        if head is None:
+            raise WalCorruption(
+                f"{survivor.name}: unreadable segment header; refusing to "
+                f"reclaim the segments before it"
+            )
+        self._write_anchor(int(head["first_seq"]), str(head["prev"]))  # type: ignore[arg-type]
+        removed: List[str] = []
+        for path in deletable:
             path.unlink()
             removed.append(path.name)
         return removed

@@ -247,6 +247,49 @@ class TestApiFacade:
         assert time.monotonic() - started < 5.0  # error, not a hang
 
 
+class TestWalFailureHalts:
+    """A failing disk (ENOSPC, EIO) mid-group-commit must not kill a
+    shard worker silently: queued frames get explicit ``wal_failure``
+    errors, intake halts, and shutdown skips the snapshot pass (whose
+    watermarks would otherwise cover frames that were never durably
+    acked -- phantoms on the next recovery)."""
+
+    def test_commit_failure_errors_halts_and_skips_snapshots(self, tmp_path):
+        from repro.serve.wal import read_wal
+
+        config = ServerConfig(
+            unix_path=str(tmp_path / "fail.sock"),
+            wal_dir=str(tmp_path / "wal"),
+            snapshot_dir=str(tmp_path / "snaps"),
+        )
+        with serve_in_thread(config) as handle:
+            with Client(handle.connect_address()) as c:
+                c.hello("s", n=3)
+                c.checkpoint("s", pid=0)  # durable while the disk is fine
+
+                def broken_sync(max_records=None):
+                    raise OSError(28, "No space left on device")
+
+                handle.server.wal.sync = broken_sync
+                with pytest.raises(ReplyError) as err:
+                    c.checkpoint("s", pid=1)
+                assert err.value.code == "wal_failure"
+                # The halted server answers, it does not hang: further
+                # frames on the same connection are refused explicitly.
+                with pytest.raises((ReplyError, ConnectionError)):
+                    c.checkpoint("s", pid=2)
+            # Intake is closed: new connections cannot be served.
+            with pytest.raises((ReplyError, ConnectionError, OSError)):
+                with Client(handle.connect_address()) as other:
+                    other.hello("other", n=2)
+        # Shutdown skipped the snapshot pass: no snapshot may stamp a
+        # watermark over the frame whose ack never left the server.
+        assert list((tmp_path / "snaps").glob("*.json")) == []
+        # The durable prefix -- hello plus the first checkpoint -- is
+        # intact and verifiable.
+        assert [r.idx for r in read_wal(tmp_path / "wal")] == [-1, 0]
+
+
 class TestSnapshotDurabilityRace:
     """Frames racing snapshots and evictions: the commit barrier holds.
 

@@ -132,9 +132,22 @@ class TestIngestWal:
             "wal-00000000000000000003.log",
         ]
         assert wal.segment_names() == ["wal-00000000000000000006.log"]
-        # The survivors no longer start the chain at GENESIS, and that
-        # is fine: recovery starts from the snapshot, not from seq 0.
         wal.close()
+        # The survivors no longer start the chain at GENESIS; the
+        # reclamation anchor written before the unlinks vouches for the
+        # new starting point, so a reopen recovers exactly them (the
+        # reclaimed prefix lives on in the snapshots whose watermarks
+        # justified the truncation).
+        assert [r.seq for r in read_wal(tmp_path)] == [6, 7, 8]
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        assert [r.seq for r in wal.recovered] == [6, 7, 8]
+        assert wal.repaired_tail == 0
+        wal.append("s", 9, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        wal.close()
+        records = read_wal(tmp_path)
+        assert [r.seq for r in records] == [6, 7, 8, 9]
+        assert records[-1].prev == records[-2].digest
 
     def test_truncate_stops_at_first_uncovered_segment(self, tmp_path):
         wal = IngestWal(tmp_path, segment_records=2, fsync=False)
@@ -152,6 +165,116 @@ class TestIngestWal:
 
     def test_read_missing_directory_is_empty(self, tmp_path):
         assert read_wal(tmp_path / "never-created") == []
+
+    def test_header_only_tail_resumes_without_double_header(self, tmp_path):
+        # A crash can tear away every record of the final segment,
+        # leaving only its header (which torn-tail handling rightly
+        # keeps).  The reopened writer must *resume* that file -- the
+        # regression was recreating it with open(..., "ab"), burying a
+        # second header mid-file and corrupting every later record.
+        fill(tmp_path, 6, segment_records=3)
+        tail = sorted(tmp_path.glob("wal-*.log"))[-1]
+        blob = tail.read_bytes()
+        with open(tail, "r+b") as f:
+            f.truncate(blob.index(b"\n") + 1)  # keep exactly the header
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        assert [r.seq for r in wal.recovered] == [0, 1, 2]
+        for i in range(3, 6):
+            wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        wal.close()
+        assert [r.seq for r in read_wal(tmp_path)] == list(range(6))
+        # Still exactly one header in the resumed segment.
+        assert tail.read_bytes().count(b'"wal":1') == 1
+        assert IngestWal(tmp_path, segment_records=3, fsync=False).repaired_tail == 0
+
+    def test_repaired_tail_resumes_appends(self, tmp_path):
+        fill(tmp_path, 3, segment_records=100)
+        path = next(tmp_path.glob("wal-*.log"))
+        with open(path, "ab") as f:
+            f.write(b'{"seq": 3, "ses')  # the crash mid-write
+        wal = IngestWal(tmp_path, segment_records=100, fsync=False)
+        assert wal.repaired_tail == 1
+        wal.append("s", 3, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        wal.close()
+        records = read_wal(tmp_path)
+        assert [r.seq for r in records] == [0, 1, 2, 3]
+        assert records[3].prev == records[2].digest
+
+
+# ----------------------------------------------------------------------
+# snapshot-driven reclamation: the anchor survives crashes and reopens
+# ----------------------------------------------------------------------
+class TestReclamationAnchor:
+    def _filled(self, tmp_path, count=12):
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        for i in range(count):
+            wal.append("s", i, {"kind": "checkpoint", "pid": 0})
+        wal.sync()
+        return wal
+
+    def test_crash_between_anchor_and_unlinks_recovers(self, tmp_path):
+        wal = self._filled(tmp_path)  # segments at 0, 3, 6, 9
+        saved = {
+            p.name: p.read_bytes() for p in sorted(tmp_path.glob("wal-*.log"))
+        }
+        assert wal.truncate_covered({"s": 5}) == [
+            "wal-00000000000000000000.log",
+            "wal-00000000000000000003.log",
+        ]
+        wal.close()
+        # Simulate a kill -9 after unlink(segment 0) but before
+        # unlink(segment 3): put segment 3 back.  Its own header seeds
+        # the chain (seq 3 < the anchor's 6) and everything verifies
+        # forward through the anchored segment.
+        name = "wal-00000000000000000003.log"
+        (tmp_path / name).write_bytes(saved[name])
+        assert [r.seq for r in read_wal(tmp_path)] == list(range(3, 12))
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        assert [r.seq for r in wal.recovered] == list(range(3, 12))
+        wal.close()
+
+    def test_deleting_the_anchored_segment_halts(self, tmp_path):
+        wal = self._filled(tmp_path)
+        wal.truncate_covered({"s": 5})  # anchor now vouches for seq 6
+        wal.close()
+        (tmp_path / "wal-00000000000000000006.log").unlink()
+        with pytest.raises(WalCorruption, match="anchor"):
+            read_wal(tmp_path)
+
+    def test_anchor_without_segments_halts(self, tmp_path):
+        wal = self._filled(tmp_path)
+        wal.truncate_covered({"s": 5})
+        wal.close()
+        for path in tmp_path.glob("wal-*.log"):
+            path.unlink()
+        with pytest.raises(WalCorruption, match="anchor"):
+            read_wal(tmp_path)
+
+    def test_leading_deletion_without_anchor_still_halts(self, tmp_path):
+        self._filled(tmp_path).close()
+        sorted(tmp_path.glob("wal-*.log"))[0].unlink()
+        with pytest.raises(WalCorruption, match="no\\s+reclamation anchor"):
+            read_wal(tmp_path)
+
+    def test_repeated_reclamation_cycles(self, tmp_path):
+        # Snapshot -> truncate -> crash -> reopen, several times over:
+        # the anchor must track the frontier, not just the first cut.
+        wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+        seq = 0
+        for cycle in range(3):
+            for _ in range(6):
+                wal.append("s", seq, {"kind": "checkpoint", "pid": 0})
+                seq += 1
+            wal.sync()
+            wal.truncate_covered({"s": seq - 4})
+            wal.close()
+            wal = IngestWal(tmp_path, segment_records=3, fsync=False)
+            assert wal.last_seq == seq - 1
+            recovered = [r.seq for r in wal.recovered]
+            assert recovered == list(range(recovered[0], seq))
+        wal.close()
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,16 @@ through an executor) stall every session sharing the loop.  The
 blocking clients in ``repro.serve.client`` are plain sync functions,
 which the rule deliberately leaves alone.
 
+The rule is lexical: it only sees blocking calls written inside
+``async def`` bodies, not ones reached *through* sync helpers called
+from a coroutine.  One such case is accepted on purpose: the snapshot
+store's atomic write (``repro.serve.snapshots._write_atomic``) fsyncs
+synchronously on the loop via the sync ``_handle``/eviction path --
+snapshots are rare and their durability must complete before the
+eviction or ack proceeds; the trade-off is documented at the call
+site.  The per-frame WAL fsync, by contrast, must stay off the loop
+(the group committer runs it in an executor).
+
 One escape hatch, and only one: a line ending in ``# lint:
 allow-wall-clock`` may call ``time.time``/``time.time_ns``.  It exists
 for *operational metadata* -- the WAL segment header stamps its
