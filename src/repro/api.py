@@ -433,12 +433,14 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     unix_path: Optional[str] = None,
-    workers: int = 4,
+    workers: Optional[int] = None,
     queue_depth: int = 256,
     idle_timeout: Optional[float] = None,
     snapshot_dir: Optional[str] = None,
     wal_dir: Optional[str] = None,
     fsync_batch: int = 64,
+    shard_procs: Optional[int] = None,
+    data_dir: Optional[str] = None,
     config: Optional[ServerConfig] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -454,8 +456,14 @@ def serve(
     enables the durable ingest WAL: every acknowledged frame is fsynced
     (in ``fsync_batch``-record group commits) before its ack, and a
     restarted server replays the WAL so a ``kill -9`` loses nothing
-    acknowledged.  See ``docs/SERVICE.md`` for the wire protocol and
-    durability semantics.
+    acknowledged.  ``shard_procs=`` switches to multi-process scale-out:
+    N ``repro serve`` shard processes (consistent-hash session
+    ownership, each with its own WAL and snapshot store under
+    ``data_dir=``, which becomes required) behind an asyncio router;
+    a dead shard degrades only its key range (clients see retryable
+    ``shard_down``) and is respawned after WAL replay.  See
+    ``docs/SERVICE.md`` for the wire protocol, durability and sharding
+    semantics.
     """
     if config is not None:
         if (
@@ -463,22 +471,54 @@ def serve(
             or snapshot_dir is not None
             or wal_dir is not None
             or port != 0
+            or shard_procs is not None
         ):
             raise SimulationError(
                 "pass either config= or the individual server knobs, not both"
             )
-    else:
-        config = ServerConfig(
+        return serve_in_thread(config, tracer=tracer, metrics=metrics)
+    if shard_procs is not None:
+        # Multi-process scale-out: N shard daemons (each with its own
+        # WAL + snapshot store under data_dir/shard-<k>/) behind an
+        # asyncio router; see repro.serve.router.
+        from repro.serve.router import Router, RouterConfig
+
+        if data_dir is None:
+            raise SimulationError(
+                "shard_procs= needs data_dir= (per-shard WAL and "
+                "snapshot directories live under it)"
+            )
+        if snapshot_dir is not None or wal_dir is not None:
+            raise SimulationError(
+                "sharded serving derives per-shard snapshot/WAL "
+                "directories from data_dir=; do not pass snapshot_dir= "
+                "or wal_dir="
+            )
+        router_config = RouterConfig(
             host=host,
             port=port,
             unix_path=unix_path,
-            workers=workers,
+            shard_procs=shard_procs,
+            data_dir=data_dir,
+            # Parallelism comes from processes here; loop workers per
+            # shard default to 1 unless explicitly asked for.
+            shard_workers=1 if workers is None else workers,
             queue_depth=queue_depth,
             idle_timeout=idle_timeout,
-            snapshot_dir=snapshot_dir,
-            wal_dir=wal_dir,
             fsync_batch=fsync_batch,
         )
+        return ServerHandle(Router(router_config, tracer=tracer, metrics=metrics))
+    config = ServerConfig(
+        host=host,
+        port=port,
+        unix_path=unix_path,
+        workers=4 if workers is None else workers,
+        queue_depth=queue_depth,
+        idle_timeout=idle_timeout,
+        snapshot_dir=snapshot_dir,
+        wal_dir=wal_dir,
+        fsync_batch=fsync_batch,
+    )
     return serve_in_thread(config, tracer=tracer, metrics=metrics)
 
 

@@ -562,21 +562,50 @@ def cmd_serve(args) -> int:
     """Run the checkpointing daemon in the foreground until Ctrl-C."""
     import time
 
-    from repro.serve.server import ServerConfig
+    from repro.serve.server import ServerConfig, ServerHandle
 
     obs = _Obs(args)
-    config = ServerConfig(
-        host=args.host,
-        port=args.port,
-        unix_path=args.unix,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        idle_timeout=args.idle_timeout,
-        snapshot_dir=args.snapshot_dir,
-        wal_dir=None if args.no_wal else args.wal_dir,
-        fsync_batch=args.fsync_batch,
-    )
-    handle = api.serve(config=config, tracer=obs.tracer, metrics=obs.registry)
+    if args.shard_procs is not None:
+        # Multi-process scale-out: N shard daemons behind a router.
+        from repro.serve.router import Router, RouterConfig
+
+        if args.data_dir is None:
+            raise SystemExit("--shard-procs needs --data-dir")
+        if args.snapshot_dir is not None or args.wal_dir is not None:
+            raise SystemExit(
+                "--shard-procs derives per-shard snapshot/WAL directories "
+                "from --data-dir; drop --snapshot-dir/--wal-dir"
+            )
+        router_config = RouterConfig(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            shard_procs=args.shard_procs,
+            data_dir=args.data_dir,
+            shard_workers=1 if args.workers is None else args.workers,
+            queue_depth=args.queue_depth,
+            idle_timeout=args.idle_timeout,
+            fsync_batch=args.fsync_batch,
+            wal=not args.no_wal,
+        )
+        handle = ServerHandle(
+            Router(router_config, tracer=obs.tracer, metrics=obs.registry)
+        )
+    else:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            workers=4 if args.workers is None else args.workers,
+            queue_depth=args.queue_depth,
+            idle_timeout=args.idle_timeout,
+            snapshot_dir=args.snapshot_dir,
+            wal_dir=None if args.no_wal else args.wal_dir,
+            fsync_batch=args.fsync_batch,
+        )
+        handle = api.serve(
+            config=config, tracer=obs.tracer, metrics=obs.registry
+        )
     if not obs.json:
         print(f"serving on {handle.connect_address()}", flush=True)
     try:
@@ -782,7 +811,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--unix", metavar="PATH", default=None, help="serve on a Unix socket"
     )
-    p.add_argument("--workers", type=int, default=4, help="session shards")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "in-process session shards (default: 4; with --shard-procs "
+            "this is per-shard loop workers, default 1)"
+        ),
+    )
+    p.add_argument(
+        "--shard-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "scale out to N shard processes behind a router "
+            "(consistent-hash session ownership; requires --data-dir)"
+        ),
+    )
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "sharded deployment state: per-shard WAL/snapshot "
+            "directories and the shard map live under DIR"
+        ),
+    )
     p.add_argument(
         "--queue-depth",
         type=int,

@@ -19,6 +19,11 @@ Layers
 * :mod:`repro.serve.snapshots` -- session snapshot/restore store;
 * :mod:`repro.serve.wal` -- the durable ingest WAL (hash-chained
   append-only segments, fsync-batched group commit, crash recovery);
+* :mod:`repro.serve.shardmap` -- deterministic consistent-hash session
+  ownership for multi-process deployments;
+* :mod:`repro.serve.router` -- N shard processes behind one asyncio
+  router (per-shard WAL/snapshots, ``shard_down`` degradation,
+  snapshot-verified rebalance);
 * :mod:`repro.serve.client` -- sync and async client libraries;
 * :mod:`repro.serve.loadgen` -- workload replay through N connections.
 
@@ -29,8 +34,10 @@ The blessed entrypoints are :func:`repro.api.serve` and
 
 from repro.serve.client import AsyncClient, Client, parse_address
 from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.router import Router, RouterConfig
 from repro.serve.server import CheckpointServer, ServerConfig, ServerHandle
 from repro.serve.session import ServeSession, offline_answers
+from repro.serve.shardmap import ShardMap
 from repro.serve.snapshots import SnapshotStore
 from repro.serve.wal import (
     IngestWal,
@@ -60,9 +67,12 @@ __all__ = [
     "IngestWal",
     "LoadReport",
     "MAX_FRAME",
+    "Router",
+    "RouterConfig",
     "ServeSession",
     "ServerConfig",
     "ServerHandle",
+    "ShardMap",
     "SnapshotStore",
     "WalCommitter",
     "WalCorruption",

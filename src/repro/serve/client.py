@@ -38,11 +38,30 @@ class ReplyError(ReproError):
         self.detail = detail
 
 
+class RequestTimeout(ReproError):
+    """The server did not answer within the socket timeout.
+
+    Retryable -- but only through :meth:`Client.reconnect` (or
+    :meth:`Client.resume`): the request may be half-sent or its reply
+    half-received, so the connection's framing can no longer be
+    trusted.  The client invalidates the connection when raising this;
+    calling again without reconnecting raises :class:`ConnectionError`.
+    """
+
+
+#: Error codes a sync :class:`Client` transparently retries: the frame
+#: was *refused before being applied* (the owning shard is restarting,
+#: or the session is mid-rebalance), so resending cannot double-apply.
+RETRYABLE_CODES = frozenset({"shard_down"})
+
+
 def parse_address(spec: Union[str, Address]) -> Address:
-    """Parse ``"host:port"``, ``":port"`` or ``"unix:/path"``.
+    """Parse ``"host:port"``, ``":port"``, ``"[v6]:port"`` or ``"unix:/path"``.
 
     Already-parsed tuples pass through, so every entrypoint can accept
-    either form.
+    either form.  IPv6 hosts must be bracketed (``[::1]:7463``) --
+    an unbracketed IPv6 literal is ambiguous with the port separator
+    and is rejected with an explicit error instead of being mangled.
     """
     if isinstance(spec, tuple):
         if spec and spec[0] in ("tcp", "unix"):
@@ -56,7 +75,17 @@ def parse_address(spec: Union[str, Address]) -> Address:
     host, sep, port = spec.rpartition(":")
     if not sep or not port.isdigit():
         raise ValueError(
-            f"bad address {spec!r}; want host:port or unix:/path"
+            f"bad address {spec!r}; want host:port, [v6-host]:port "
+            f"or unix:/path"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"bad address {spec!r}; empty [] host")
+    elif ":" in host:
+        raise ValueError(
+            f"ambiguous IPv6 address {spec!r}; bracket the host, "
+            f"e.g. [{host}]:{port}"
         )
     return ("tcp", host or "127.0.0.1", int(port))
 
@@ -87,15 +116,31 @@ class _Requests:
 
 
 class Client(_Requests):
-    """Blocking client: one request, one reply, in order."""
+    """Blocking client: one request, one reply, in order.
+
+    ``retries``/``retry_delay`` govern transparent retry of replies
+    whose error code is in :data:`RETRYABLE_CODES` (``shard_down`` from
+    a sharded deployment whose owning shard is restarting or whose
+    session is mid-rebalance).  These frames were refused *before*
+    application, so a resend cannot double-apply; a single-process
+    server never emits them, so the knobs are inert there.
+    """
 
     def __init__(
-        self, address: Union[str, Address], timeout: Optional[float] = 10.0
+        self,
+        address: Union[str, Address],
+        timeout: Optional[float] = 10.0,
+        *,
+        retries: int = 8,
+        retry_delay: float = 0.25,
     ) -> None:
         self.address = parse_address(address)
         self._timeout = timeout
         self._seq = 0
         self._buffer = wire.FrameBuffer()
+        self._dead = False
+        self.retries = retries
+        self.retry_delay = retry_delay
         self._dial()
 
     def _dial(self) -> None:
@@ -116,6 +161,7 @@ class Client(_Requests):
             raise ConnectionError(
                 f"cannot connect to {self.address!r}: {exc}"
             ) from exc
+        self._dead = False
 
     # ------------------------------------------------------------------
     # recovery-aware reconnect
@@ -166,18 +212,56 @@ class Client(_Requests):
 
     # ------------------------------------------------------------------
     def call(self, doc: Dict[str, object]) -> Dict[str, object]:
-        """Send one frame, wait for the matching reply (raw, may be ok=false)."""
-        wire.send_frame(self._sock, doc)
-        while True:
-            reply = wire.recv_frame(self._sock, self._buffer)
-            if reply is None:
-                raise ConnectionError("server closed the connection")
-            if reply.get("seq") == doc["seq"]:
-                return reply
+        """Send one frame, wait for the matching reply (raw, may be ok=false).
+
+        A socket timeout mid-call leaves the conversation desynced (the
+        request may be half-sent, the reply half-received in
+        ``self._buffer``), so the connection is *invalidated* -- the
+        socket closed, the buffer dropped -- and a typed, retryable
+        :class:`RequestTimeout` raised.  Calling again before
+        :meth:`reconnect` raises :class:`ConnectionError` instead of
+        mis-parsing from mid-frame.
+        """
+        if self._dead:
+            raise ConnectionError(
+                "connection invalidated after a timeout; reconnect() first"
+            )
+        try:
+            wire.send_frame(self._sock, doc)
+            while True:
+                reply = wire.recv_frame(self._sock, self._buffer)
+                if reply is None:
+                    raise ConnectionError("server closed the connection")
+                if reply.get("seq") == doc["seq"]:
+                    return reply
+        except socket.timeout as exc:
+            self._invalidate()
+            raise RequestTimeout(
+                f"no reply within {self._timeout}s; connection invalidated, "
+                f"reconnect() to retry"
+            ) from exc
+
+    def _invalidate(self) -> None:
+        """Framing is no longer trustworthy: drop socket and buffer."""
+        self._dead = True
+        self._buffer = wire.FrameBuffer()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def request(self, kind: str, **fields: object) -> Dict[str, object]:
         self._seq += 1
-        return _raise_if_error(self.call(self._frame(kind, self._seq, **fields)))
+        doc = self._frame(kind, self._seq, **fields)
+        attempt = 0
+        while True:
+            try:
+                return _raise_if_error(self.call(doc))
+            except ReplyError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt >= self.retries:
+                    raise
+                attempt += 1
+                time.sleep(self.retry_delay)
 
     # -- the vocabulary -------------------------------------------------
     def hello(
@@ -308,7 +392,11 @@ class AsyncClient(_Requests):
         self._seq += 1
         seq = self._seq
         doc = self._frame(kind, seq, **fields)
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        # get_running_loop, not the deprecated get_event_loop: submit is
+        # only legal with the loop running (the reader task needs it),
+        # and get_event_loop inside a running loop warns today and is
+        # slated to raise on future CPython.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[seq] = future
         try:
             self._writer.write(wire.encode_frame(doc))

@@ -101,13 +101,19 @@ async def _drive_session(
     window: int,
     query_every: int,
     report: LoadReport,
-) -> None:
+) -> int:
     """Replay one trace through one pipelined connection.
 
     A mid-run disconnect (e.g. the server draining and stopping under
     load) is not an error: the session's accumulated counts stay in the
     report and ``disconnects`` is bumped, so shutdown-under-load tests
     can compare client-side acks against server-side applied counts.
+
+    Returns the number of ``send_futures`` entries left at the end:
+    send replies are popped when their deliver consumes them, so the
+    leftovers are exactly the trace's never-delivered sends -- long
+    ``--duration`` runs must not accumulate one reply document per send
+    for the whole run (that was a real RSS leak).
     """
     client = await AsyncClient.connect(address)
     inflight: Deque[Tuple["asyncio.Future", float, bool]] = deque()
@@ -147,7 +153,10 @@ async def _drive_session(
                 )
                 send_futures[op.msg_id] = future
             else:  # DELIVER: needs the server-assigned id of its send
-                send_reply = await send_futures[op.msg_id]
+                # Pop, not read: each send reply has exactly one
+                # consumer, and keeping it would pin every reply doc of
+                # the run in memory.
+                send_reply = await send_futures.pop(op.msg_id)
                 if not send_reply.get("ok", False):
                     report.skipped_delivers += 1
                     continue
@@ -174,6 +183,7 @@ async def _drive_session(
     finally:
         report.per_session[session_id] = acked_here
         await client.close()
+    return len(send_futures)
 
 
 async def run_load_async(

@@ -654,6 +654,23 @@ class CheckpointServer:
                 }
                 if self.wal is not None:
                     reply["wal_seq"] = snap["wal_seq"]
+                if doc.get("retire"):
+                    # Re-home support ("snapshot, truncate, re-home"):
+                    # the caller is moving this session elsewhere, so
+                    # the live copy must not linger -- a later frame
+                    # would otherwise resume from stale state.  The
+                    # snapshot itself stays in the store: WAL segments
+                    # may have been truncated against its watermark,
+                    # and recovery needs it to keep the chain sound.
+                    del self.sessions[session_id]
+                    self._activity.pop(session_id, None)
+                    self._trace(
+                        "serve.retire",
+                        session=session_id,
+                        events=snap["events"],
+                    )
+                    self._gauge_sessions()
+                    reply["retired"] = True
                 return reply
             reply = session.apply(doc)
             self.ingested_frames += 1
@@ -780,14 +797,14 @@ class CheckpointServer:
     def _touch(self, session_id: str) -> None:
         # Only worth bookkeeping when eviction can actually happen.
         if self.config.idle_timeout is not None:
-            self._activity[session_id] = asyncio.get_event_loop().time()
+            self._activity[session_id] = asyncio.get_running_loop().time()
 
     async def _housekeep(self) -> None:
         assert self.config.idle_timeout is not None
         interval = self.config.idle_timeout / 2
         while True:
             await asyncio.sleep(interval)
-            now = asyncio.get_event_loop().time()
+            now = asyncio.get_running_loop().time()
             for session_id in list(self.sessions):
                 last = self._activity.get(session_id, now)
                 if now - last < self.config.idle_timeout:
@@ -832,7 +849,7 @@ class CheckpointServer:
         session = self.sessions.get(session_id)
         if session is None:
             return
-        now = asyncio.get_event_loop().time()
+        now = asyncio.get_running_loop().time()
         last = self._activity.get(session_id, now)
         if (
             self.config.idle_timeout is None

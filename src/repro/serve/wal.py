@@ -698,7 +698,7 @@ class WalCommitter:
     async def _flush_once(self) -> None:
         import asyncio
 
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         try:
             before = self.wal.durable_seq
             await loop.run_in_executor(None, self.wal.sync, self.fsync_batch)

@@ -83,7 +83,11 @@ class FrameBuffer:
         """Absorb ``data``; return every frame it completed, in order.
 
         The returned documents are *also* queued for :meth:`next_doc`;
-        use one style or the other, not both.
+        use one style or the other, not both.  When a later frame in the
+        chunk raises :class:`FrameError`, every document completed
+        *before* it is still queued for :meth:`next_doc` -- a pipelined
+        peer's good replies must not vanish because a bad frame followed
+        them in the same read.
         """
         # Compact once per chunk, not once per frame: a 64 KiB chunk of
         # small frames would otherwise memmove the tail per frame.
@@ -92,12 +96,16 @@ class FrameBuffer:
             self._pos = 0
         self._buf.extend(data)
         out: List[Dict[str, object]] = []
-        while True:
-            doc = self._pop()
-            if doc is None:
-                self._docs.extend(out)
-                return out
-            out.append(doc)
+        try:
+            while True:
+                doc = self._pop()
+                if doc is None:
+                    return out
+                out.append(doc)
+        finally:
+            # On both paths -- clean return and FrameError -- the frames
+            # already completed reach the _docs queue exactly once.
+            self._docs.extend(out)
 
     def next_doc(self) -> Optional[Dict[str, object]]:
         """The oldest queued document, or None if none is complete."""
@@ -120,6 +128,61 @@ class FrameBuffer:
     def pending(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
         return len(self._buf) - self._pos
+
+
+class RawFrameBuffer:
+    """Sans-IO frame *splitting* without decoding: feed chunks, pop payloads.
+
+    The shard router forwards frames between clients and shard
+    processes verbatim; it needs frame boundaries (to route whole
+    frames) but not a decoded document for every byte it moves.  This
+    buffer yields each complete frame's raw payload bytes (the bytes
+    after the length prefix, exactly as they arrived); callers decode
+    only the payloads they actually need to inspect and re-frame with
+    :func:`frame_prefix` when forwarding.
+
+    Same compaction strategy and :data:`MAX_FRAME` policing as
+    :class:`FrameBuffer`.
+    """
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+
+    def feed(self, data: bytes) -> None:
+        if self._pos:
+            del self._buf[: self._pos]
+            self._pos = 0
+        self._buf.extend(data)
+
+    def next_payload(self) -> Optional[bytes]:
+        """The next complete frame's payload bytes, or None."""
+        buf, pos = self._buf, self._pos
+        if len(buf) - pos < _LEN.size:
+            return None
+        (length,) = _LEN.unpack_from(buf, pos)
+        if length > MAX_FRAME:
+            raise FrameError(f"frame length {length} exceeds {MAX_FRAME}")
+        start = pos + _LEN.size
+        if len(buf) - start < length:
+            return None
+        payload = bytes(buf[start : start + length])
+        self._pos = start + length
+        return payload
+
+    def pending(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf) - self._pos
+
+
+def frame_prefix(payload: bytes) -> bytes:
+    """The 4-byte length prefix for one raw payload (the router's
+    re-framing primitive: ``frame_prefix(p) + p`` is the wire frame)."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(payload))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,214 @@
+"""kill -9 one shard of a sharded deployment; the rest keep serving.
+
+The sharded promise is the single-process durability contract *scoped
+to a key range*: SIGKILL-ing one shard process mid-commit must
+
+* degrade only the sessions that shard owns (requests for them get the
+  retryable ``shard_down`` code while every other session keeps acking
+  at 100%),
+* lose no acked frame of the victim -- after the supervisor respawns
+  the shard and its WAL replays, the session's recovered log is an
+  exact prefix of what the driver sent, at least as long as the acked
+  count, and
+* stay differentially honest -- the revived session's query answers are
+  byte-identical to an offline replay of that recovered prefix.
+
+The driver uses a non-retrying client on purpose: every ``shard_down``
+is surfaced, so the test does its own bookkeeping of which frames have
+an unknown fate (in flight when the shard died) instead of letting the
+client paper over the outage.
+
+Gating: spawns and murders real subprocesses, so ``REPRO_CHAOS=1``
+only.  ``REPRO_CHAOS_SHARD_CELLS`` caps the cell count (default 2).
+"""
+
+import os
+import random
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.obs.jsonio import canonical_dumps
+from repro.serve.client import Client, ReplyError
+from repro.serve.session import offline_answers
+from repro.serve.snapshots import SnapshotStore
+from repro.serve.wal import read_wal, recover_sessions
+
+pytestmark = [
+    pytest.mark.tier2,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_CHAOS") != "1",
+        reason="chaos suite runs only with REPRO_CHAOS=1",
+    ),
+]
+
+SHARDS = 3
+N = 3
+VICTIM = 0
+
+
+def _budgeted_seeds():
+    budget = int(os.environ.get("REPRO_CHAOS_SHARD_CELLS", "2"))
+    return list(range(max(1, min(budget, 6))))
+
+
+def _session_per_shard(layout, seed):
+    """One session id homed on each shard, found by probing the ring."""
+    found = {}
+    i = 0
+    while len(found) < SHARDS:
+        sid = f"skill-{seed}-{i}"
+        found.setdefault(layout.owner(sid), sid)
+        i += 1
+    return found
+
+
+def _drive_one(client, rng, sid, load):
+    """One seeded op on ``sid``; appended to ``load['sent']`` before the
+    request goes out, counted acked only when the reply lands."""
+    choice = rng.random()
+    if load["undelivered"] and choice < 0.35:
+        mid = load["undelivered"][0]
+        load["sent"].append({"kind": "deliver", "msg_id": mid})
+        client.deliver(sid, msg_id=mid)
+        load["undelivered"].pop(0)
+    elif choice < 0.70:
+        src = rng.randrange(N)
+        dst = (src + 1 + rng.randrange(N - 1)) % N
+        load["sent"].append({"kind": "send", "src": src, "dst": dst})
+        reply = client.send(sid, src=src, dst=dst)
+        load["undelivered"].append(int(reply["msg_id"]))
+    else:
+        pid = rng.randrange(N)
+        load["sent"].append({"kind": "checkpoint", "pid": pid})
+        client.checkpoint(sid, pid=pid)
+    load["acked"] += 1
+
+
+@pytest.mark.parametrize("seed", _budgeted_seeds())
+def test_shard_kill9_degrades_only_its_key_range(tmp_path, seed):
+    rng = random.Random(seed)
+    data_dir = tmp_path / "data"
+    with api.serve(
+        unix_path=str(tmp_path / "router.sock"),
+        shard_procs=SHARDS,
+        data_dir=str(data_dir),
+    ) as handle:
+        router = handle.server
+        by_shard = _session_per_shard(router._map, seed)
+        victim_sid = by_shard[VICTIM]
+        victim_pid = router._shards[VICTIM].proc.pid
+
+        client = Client(handle.connect_address(), timeout=30.0, retries=0)
+        loads = {}
+        for sid in by_shard.values():
+            client.hello(sid, n=N, protocol="bhmr")
+            loads[sid] = {"sent": [], "acked": 0, "undelivered": []}
+
+        kill_delay = 0.02 + rng.random() * 0.2
+        kill_thread = threading.Thread(
+            target=lambda: (
+                time.sleep(kill_delay),
+                os.kill(victim_pid, signal.SIGKILL),
+            ),
+            daemon=True,
+        )
+        kill_thread.start()
+
+        # Stream until the outage surfaces on the victim.  Every reply
+        # for a *healthy* session must stay ok=true throughout -- a
+        # shard_down there would mean the blast radius escaped the
+        # victim's key range.
+        order = sorted(loads)
+        victim_down = False
+        deadline = time.monotonic() + 30.0
+        op_i = 0
+        while not victim_down:
+            assert time.monotonic() < deadline, "kill never surfaced"
+            sid = order[op_i % len(order)]
+            op_i += 1
+            try:
+                _drive_one(client, rng, sid, loads[sid])
+            except ReplyError as exc:
+                assert sid == victim_sid, (
+                    f"healthy session {sid} degraded during the outage: "
+                    f"{exc.code}"
+                )
+                assert exc.code == "shard_down"
+                victim_down = True
+        kill_thread.join(timeout=5.0)
+
+        # While the victim is down (or respawning), the other shards
+        # keep acking at 100%.
+        for _ in range(40):
+            for sid in order:
+                if sid == victim_sid:
+                    continue
+                _drive_one(client, rng, sid, loads[sid])
+
+        # The supervisor respawns the shard; it binds only after WAL
+        # replay, so "up again" means recovery is complete.
+        deadline = time.monotonic() + 30.0
+        while True:
+            stats = client.call({"kind": "stats", "seq": "respawn-poll"})
+            row = stats["shards"][VICTIM]
+            if row["up"] and row["restarts"] >= 1:
+                assert row["pid"] != victim_pid
+                break
+            assert time.monotonic() < deadline, f"no respawn: {row}"
+            time.sleep(0.2)
+
+        # No acked frame died with the shard: the revived session holds
+        # a sent-prefix at least as long as the acked count.  Frames in
+        # flight at the kill have an unknown fate, hence <= sent.
+        load = loads[victim_sid]
+        greeting = client.resume(victim_sid)
+        assert greeting["recovered"] is True
+        events = int(greeting["events"])
+        assert load["acked"] <= events <= len(load["sent"]), (
+            f"{victim_sid}: {load['acked']} acked, {len(load['sent'])} "
+            f"sent, but recovery produced {events} events"
+        )
+
+        # Differential honesty of the revived prefix: online answers ==
+        # offline replay of exactly those frames.
+        crashed = [seed % N]
+        online = {
+            "rdt_status": client.query(victim_sid, "rdt_status"),
+            "z_cycles": client.query(victim_sid, "z_cycles"),
+            "recovery_line": client.query(
+                victim_sid, "recovery_line", crashed=crashed
+            ),
+        }
+        offline = offline_answers(
+            victim_sid, N, "bhmr", load["sent"][:events], crashed=crashed
+        )
+        assert canonical_dumps(online) == canonical_dumps(offline)
+
+        # The revived session is alive, not a husk: it keeps ingesting.
+        client.checkpoint(victim_sid, pid=0)
+        client.close()
+
+    # Offline audit over the wreckage, independent of the live path:
+    # the victim shard's surviving WAL + snapshots must recover every
+    # session it owned as an element-identical sent-prefix.
+    shard_dir = data_dir / f"shard-{VICTIM:02d}"
+    store = SnapshotStore(str(shard_dir / "snaps"))
+    snapshots = {
+        sid: doc
+        for sid in store.known()
+        if (doc := store.load(sid)) is not None
+    }
+    recovered = recover_sessions(
+        read_wal(str(shard_dir / "wal")), snapshots
+    )
+    rec = recovered[victim_sid]
+    sent = loads[victim_sid]["sent"]
+    # The revived prefix, plus the one post-recovery checkpoint the
+    # liveness probe ingested after the resume above.
+    assert len(rec.log) == events + 1
+    assert rec.log[:events] == sent[:events]
+    assert rec.log[events] == {"kind": "checkpoint", "pid": 0}

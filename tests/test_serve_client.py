@@ -2,10 +2,20 @@
 
 import asyncio
 import os
+import socket
+import threading
+import warnings
 
 import pytest
 
-from repro.serve.client import AsyncClient, Client, ReplyError, parse_address
+from repro.serve import wire
+from repro.serve.client import (
+    AsyncClient,
+    Client,
+    ReplyError,
+    RequestTimeout,
+    parse_address,
+)
 from repro.types import ReproError
 
 
@@ -29,6 +39,21 @@ class TestParseAddress:
     def test_rejects_garbage(self, bad):
         with pytest.raises(ValueError):
             parse_address(bad)
+
+    def test_bracketed_ipv6(self):
+        assert parse_address("[::1]:7463") == ("tcp", "::1", 7463)
+        assert parse_address("[fe80::1%eth0]:80") == ("tcp", "fe80::1%eth0", 80)
+
+    def test_unbracketed_ipv6_rejected_with_hint(self):
+        """Regression: rpartition used to mangle ``::1:7463`` into host
+        ``::1`` silently wrong for other layouts -- now the ambiguity is
+        an explicit error telling the caller how to write it."""
+        with pytest.raises(ValueError, match=r"bracket.*\[::1\]:7463"):
+            parse_address("::1:7463")
+
+    def test_empty_brackets_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_address("[]:7463")
 
 
 class TestReplyError:
@@ -61,8 +86,237 @@ class TestDeadSocket:
 
 @pytest.fixture
 def free_tcp_port():
-    import socket
-
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))
         return sock.getsockname()[1]
+
+
+class _ScriptedServer:
+    """A threaded unix-socket peer whose per-connection behaviour is a
+    plain function -- the cheapest way to script wire-level misbehaviour
+    (stalls, partial frames, scripted error codes) a real server never
+    produces on cue."""
+
+    def __init__(self, path, handler):
+        self.path = str(path)
+        self._handler = handler
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.path)
+        self._listener.listen(8)
+        self._conns = 0
+        self._open = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self._open.append(conn)
+            index = self._conns
+            self._conns += 1
+            threading.Thread(
+                target=self._run_handler, args=(index, conn), daemon=True
+            ).start()
+
+    def _run_handler(self, index, conn):
+        try:
+            self._handler(index, conn)
+        except OSError:
+            pass
+
+    def close(self):
+        self._stop.set()
+        self._listener.close()
+        for conn in self._open:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _serve_ok(conn):
+    """Speak the real protocol: every request gets ``{"ok": true}``."""
+    buffer = wire.FrameBuffer()
+    while True:
+        doc = wire.recv_frame(conn, buffer)
+        if doc is None:
+            return
+        wire.send_frame(conn, {"ok": True, "seq": doc["seq"], "echo": doc["kind"]})
+
+
+class TestTimeoutInvalidation:
+    """Satellite regression: a socket timeout mid-frame must not leave
+    the next call parsing from the middle of an abandoned reply."""
+
+    def test_timeout_raises_typed_error_and_invalidates(self, tmp_path):
+        stalled = threading.Event()
+
+        def handler(index, conn):
+            if index == 0:
+                buffer = wire.FrameBuffer()
+                wire.recv_frame(conn, buffer)
+                # Half a reply: a 64-byte frame's prefix plus 10 bytes,
+                # then silence -- exactly the desync the old client
+                # kept in self._buffer.
+                conn.sendall(b"\x00\x00\x00\x40" + b'{"ok": tr')
+                stalled.wait(timeout=10.0)
+            else:
+                _serve_ok(conn)
+
+        path = tmp_path / "stall.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", timeout=0.3)
+            with pytest.raises(RequestTimeout, match="reconnect"):
+                client.call({"kind": "query", "seq": 1})
+            # The connection is invalidated, not silently reused: a
+            # second call must refuse rather than mis-parse.
+            with pytest.raises(ConnectionError, match="invalidated"):
+                client.call({"kind": "query", "seq": 2})
+            stalled.set()
+            # reconnect() makes the client whole again -- fresh socket,
+            # fresh buffer, no leftover partial frame.
+            client.reconnect(retries=3, delay=0.05)
+            reply = client.call({"kind": "query", "seq": 3})
+            assert reply == {"ok": True, "seq": 3, "echo": "query"}
+            client._sock.close()
+
+    def test_timeout_is_a_repro_error(self):
+        assert issubclass(RequestTimeout, ReproError)
+
+
+class TestShardDownRetry:
+    """``shard_down`` replies are refused-before-apply: the sync client
+    retries them transparently up to ``retries`` times."""
+
+    def test_retries_until_shard_returns(self, tmp_path):
+        down_for = 3
+        seen = []
+
+        def handler(index, conn):
+            buffer = wire.FrameBuffer()
+            while True:
+                doc = wire.recv_frame(conn, buffer)
+                if doc is None:
+                    return
+                seen.append(doc["kind"])
+                if len(seen) <= down_for:
+                    wire.send_frame(
+                        conn,
+                        wire.error_reply(
+                            doc["seq"], "shard_down", "shard 1 restarting"
+                        ),
+                    )
+                else:
+                    wire.send_frame(conn, {"ok": True, "seq": doc["seq"]})
+
+        path = tmp_path / "down.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", retries=5, retry_delay=0.01)
+            assert client.request("snapshot", session="s")["ok"] is True
+            assert len(seen) == down_for + 1
+            client._sock.close()
+
+    def test_retries_exhausted_raise(self, tmp_path):
+        def handler(index, conn):
+            buffer = wire.FrameBuffer()
+            while True:
+                doc = wire.recv_frame(conn, buffer)
+                if doc is None:
+                    return
+                wire.send_frame(
+                    conn, wire.error_reply(doc["seq"], "shard_down", "dead")
+                )
+
+        path = tmp_path / "dead.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", retries=2, retry_delay=0.01)
+            with pytest.raises(ReplyError, match="shard_down"):
+                client.request("snapshot", session="s")
+            client._sock.close()
+
+    def test_non_retryable_errors_pass_through(self, tmp_path):
+        calls = []
+
+        def handler(index, conn):
+            buffer = wire.FrameBuffer()
+            while True:
+                doc = wire.recv_frame(conn, buffer)
+                if doc is None:
+                    return
+                calls.append(doc)
+                wire.send_frame(
+                    conn, wire.error_reply(doc["seq"], "bad_request", "nope")
+                )
+
+        path = tmp_path / "bad.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", retries=5, retry_delay=0.01)
+            with pytest.raises(ReplyError, match="bad_request"):
+                client.request("snapshot", session="s")
+            assert len(calls) == 1  # no retry on a real fault
+            client._sock.close()
+
+
+class TestResumeAcrossRestart:
+    """``Client.resume`` against a WAL-backed server restarting
+    mid-conversation: the re-greet lands on the recovered session."""
+
+    def test_resume_reports_recovered_state(self, tmp_path):
+        from repro.serve.server import ServerConfig, serve_in_thread
+
+        config = ServerConfig(
+            unix_path=str(tmp_path / "serve.sock"),
+            wal_dir=str(tmp_path / "wal"),
+        )
+        with serve_in_thread(config) as handle:
+            client = Client(handle.connect_address())
+            client.hello("s", n=3)
+            client.checkpoint("s", pid=0)
+            client.send("s", src=0, dst=1)
+        # The server is gone; the client's socket is now dead.  A fresh
+        # process takes over the same socket path and WAL directory.
+        with serve_in_thread(config) as handle:
+            reply = client.resume("s")
+            assert reply["recovered"] is True
+            assert reply["events"] == 2
+            assert reply["n"] == 3
+            # The resumed conversation continues where it left off.
+            status = client.query("s", "rdt_status")
+            assert status["events"] == 2
+            client.close()
+
+
+class TestAsyncClientLoopApi:
+    def test_submit_emits_no_deprecation_warning(self, tmp_path):
+        """Regression: submit used asyncio.get_event_loop() inside the
+        running loop, which warns today and breaks on future CPython."""
+
+        def handler(index, conn):
+            _serve_ok(conn)
+
+        path = tmp_path / "async.sock"
+
+        async def scenario():
+            client = await AsyncClient.connect(f"unix:{path}")
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                future = client.submit("query", session="s")
+                await client.flush()
+                reply = await future
+            assert reply["ok"] is True
+            client._reader_task.cancel()
+            client._writer.close()
+
+        with _ScriptedServer(path, handler):
+            asyncio.run(scenario())

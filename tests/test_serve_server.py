@@ -226,6 +226,45 @@ class TestGracefulShutdownUnderLoad:
         assert handle.close() == {"s": 1}
 
 
+class TestLoadgenDrainsSendFutures:
+    def test_send_futures_drain_to_undelivered_count(self, tmp_path):
+        """Regression: ``_drive_session`` never popped ``send_futures``,
+        pinning one reply doc per send for the whole run (a real RSS
+        leak on long ``--duration`` runs).  Now each deliver pops its
+        send's future, so what remains at the end is exactly the
+        trace's never-delivered sends -- and the function reports it."""
+        from repro.serve.loadgen import LoadReport, _drive_session
+        from repro.sim.generate import generate_trace
+        from repro.sim.trace import TraceOpKind
+        from repro.workloads import WORKLOADS
+
+        trace = generate_trace(
+            4, WORKLOADS["random"](), duration=40.0, seed=11, basic_rate=0.1
+        )
+        sent = {
+            op.msg_id for op in trace.ops if op.kind is TraceOpKind.SEND
+        }
+        delivered = {
+            op.msg_id for op in trace.ops if op.kind is TraceOpKind.DELIVER
+        }
+        undelivered = len(sent - delivered)
+        assert sent, "trace must exercise the send path"
+
+        config = ServerConfig(unix_path=str(tmp_path / "drainload.sock"))
+        with serve_in_thread(config) as handle:
+            report = LoadReport(sessions=1)
+            leftovers = asyncio.run(
+                _drive_session(
+                    handle.connect_address(),
+                    "drain-s", "bhmr", trace, 32, 0, report,
+                )
+            )
+        assert report.errors == 0 and report.disconnects == 0
+        assert leftovers == undelivered
+        # Every delivered send's reply was released as it was consumed.
+        assert leftovers < len(sent)
+
+
 class TestApiFacade:
     def test_api_serve_and_connect(self, tmp_path):
         with api.serve(unix_path=str(tmp_path / "api.sock")) as handle:

@@ -1,0 +1,342 @@
+"""Multi-process differential: sharded serve equals offline replay.
+
+The router forwards frames verbatim between clients and stock
+``repro serve`` shard processes, so a sharded deployment must answer
+*byte-identically* to a single-process offline replay of the same
+ingest stream.  Each cell drives one generated trace through the live
+router, reconstructs the ingest log client-side (the entry formats are
+the session's own: ``checkpoint/pid``, ``send/src/dst``,
+``deliver/msg_id`` with the server-assigned id) and compares every
+analysis query against :func:`offline_answers` under canonical JSON.
+
+On top of the differential ride the scale-out behaviours themselves:
+the ``stats``/``rebalance`` admin verbs, persisted shardmap overrides,
+and the full "snapshot, truncate, re-home" reconcile when the shard
+count changes across a restart.
+"""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.core.registry import PROTOCOLS
+from repro.obs.jsonio import canonical_dumps
+from repro.serve.client import Client, ReplyError
+from repro.serve.session import offline_answers
+from repro.serve.shardmap import ShardMap
+from repro.sim.generate import generate_trace
+from repro.sim.trace import TraceOpKind
+from repro.workloads import WORKLOADS
+
+N = 3
+SHARDS = 3
+CELLS = 20
+
+# A seeded sample of the workload x protocol grid, independent of the
+# single-process suite's sample (different seed on purpose: the two
+# suites should not silently test the same corners).
+_rng = random.Random(0x5A4D)
+_GRID = sorted((w, p) for w in WORKLOADS for p in PROTOCOLS)
+CELL_PARAMS = [
+    (w, p, _rng.randrange(1 << 16)) for w, p in _rng.sample(_GRID, CELLS)
+]
+
+
+@pytest.fixture(scope="module")
+def handle(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sharded")
+    with api.serve(
+        unix_path=str(root / "router.sock"),
+        shard_procs=SHARDS,
+        data_dir=str(root / "data"),
+    ) as h:
+        yield h
+
+
+def drive_and_log(client, session_id, protocol, trace):
+    """Stream one trace through the live router; return the ingest log
+    the shard must have recorded, reconstructed client-side.
+
+    The reconstruction is what makes a *multi-process* differential
+    possible at all: the shard's memory is in another process, so the
+    suite rebuilds the log from the wire conversation alone -- which is
+    also exactly the information a real client has.
+    """
+    client.hello(session_id, n=trace.n, protocol=protocol)
+    sent = {}
+    log = []
+    for op in trace.ops:
+        if op.kind is TraceOpKind.BASIC_CHECKPOINT:
+            client.checkpoint(session_id, pid=op.pid)
+            log.append({"kind": "checkpoint", "pid": op.pid})
+        elif op.kind is TraceOpKind.SEND:
+            reply = client.send(session_id, src=op.pid, dst=op.peer)
+            sent[op.msg_id] = reply["msg_id"]
+            log.append({"kind": "send", "src": op.pid, "dst": op.peer})
+        else:
+            client.deliver(session_id, msg_id=sent[op.msg_id])
+            log.append({"kind": "deliver", "msg_id": sent[op.msg_id]})
+    return log
+
+
+def query_all(client, session_id, crashed):
+    return {
+        "rdt_status": client.query(session_id, "rdt_status"),
+        "z_cycles": client.query(session_id, "z_cycles"),
+        "recovery_line": client.query(
+            session_id, "recovery_line", crashed=crashed
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "workload,protocol,seed",
+    CELL_PARAMS,
+    ids=[f"{w}-{p}-{s}" for w, p, s in CELL_PARAMS],
+)
+def test_sharded_equals_offline(handle, workload, protocol, seed):
+    trace = generate_trace(
+        N, WORKLOADS[workload](), duration=12.0, seed=seed, basic_rate=0.2
+    )
+    session_id = f"shard-{workload}-{protocol}-{seed}"
+    crashed = [seed % N]
+    with Client(handle.connect_address()) as client:
+        log = drive_and_log(client, session_id, protocol, trace)
+        online = query_all(client, session_id, crashed)
+    assert len(log) == len(trace.ops)
+    offline = offline_answers(session_id, N, protocol, log, crashed=crashed)
+    assert canonical_dumps(online) == canonical_dumps(offline)
+
+
+def test_cells_cover_many_workloads_and_protocols():
+    workloads = {w for w, _, _ in CELL_PARAMS}
+    protocols = {p for _, p, _ in CELL_PARAMS}
+    assert len(CELL_PARAMS) >= 20
+    assert len(workloads) >= 4
+    assert len(protocols) >= 5
+
+
+def test_sessions_actually_spread_across_shards(handle):
+    """The differential means little if everything landed on one shard:
+    the stats verb must show several processes doing real work."""
+    with Client(handle.connect_address()) as client:
+        stats = client.call({"kind": "stats", "seq": 1})
+    assert stats["ok"] is True
+    shards = stats["shards"]
+    assert len(shards) == SHARDS
+    assert all(s["up"] for s in shards)
+    busy = [s for s in shards if s["forwarded"] > 0]
+    assert len(busy) >= 2, f"all traffic on one shard: {shards}"
+    assert stats["layout"]["shards"] == SHARDS
+
+
+class TestRebalance:
+    """The live "snapshot, truncate, re-home" admin verb."""
+
+    def test_session_moves_and_conversation_continues(self, handle):
+        session_id = "rebal-live"
+        trace = generate_trace(
+            N, WORKLOADS["random"](), duration=10.0, seed=77, basic_rate=0.2
+        )
+        cut = len(trace.ops) // 2
+        with Client(handle.connect_address()) as client:
+            client.hello(session_id, n=N, protocol="bhmr")
+            sent = {}
+            log = []
+            def feed(ops):
+                for op in ops:
+                    if op.kind is TraceOpKind.BASIC_CHECKPOINT:
+                        client.checkpoint(session_id, pid=op.pid)
+                        log.append({"kind": "checkpoint", "pid": op.pid})
+                    elif op.kind is TraceOpKind.SEND:
+                        reply = client.send(session_id, src=op.pid, dst=op.peer)
+                        sent[op.msg_id] = reply["msg_id"]
+                        log.append(
+                            {"kind": "send", "src": op.pid, "dst": op.peer}
+                        )
+                    else:
+                        client.deliver(session_id, msg_id=sent[op.msg_id])
+                        log.append(
+                            {"kind": "deliver", "msg_id": sent[op.msg_id]}
+                        )
+
+            feed(trace.ops[:cut])
+            source = handle.server._map.owner(session_id)
+            target = (source + 1) % SHARDS
+            reply = client.call(
+                {
+                    "kind": "rebalance",
+                    "seq": 1000,
+                    "session": session_id,
+                    "target": target,
+                }
+            )
+            assert reply["ok"] is True
+            assert reply["moved"] is True
+            assert reply["from"] == source and reply["shard"] == target
+            assert reply["events"] == cut
+            assert handle.server._map.owner(session_id) == target
+            # The move is durable: the override survives in the layout
+            # file the next incarnation will read.
+            stored = ShardMap.load(
+                handle.server._layout_path()
+            )
+            assert stored is not None and stored.owner(session_id) == target
+
+            # The conversation continues against the new owner -- and
+            # stays differentially silent end to end across the move.
+            feed(trace.ops[cut:])
+            online = query_all(client, session_id, crashed=[0])
+        offline = offline_answers(
+            session_id, N, "bhmr", log, crashed=[0]
+        )
+        assert canonical_dumps(online) == canonical_dumps(offline)
+
+    def test_rebalance_to_current_owner_is_a_noop(self, handle):
+        with Client(handle.connect_address()) as client:
+            client.hello("rebal-noop", n=2)
+            owner = handle.server._map.owner("rebal-noop")
+            reply = client.call(
+                {
+                    "kind": "rebalance",
+                    "seq": 1,
+                    "session": "rebal-noop",
+                    "target": owner,
+                }
+            )
+            assert reply["ok"] is True and reply["moved"] is False
+
+    def test_rebalance_validates_target(self, handle):
+        with Client(handle.connect_address()) as client:
+            with pytest.raises(ReplyError, match="bad_request"):
+                client.request(
+                    "rebalance", session="whatever", target=SHARDS + 7
+                )
+
+
+class TestResizeAcrossRestart:
+    """Changing ``shard_procs`` across a restart triggers the offline
+    reconcile: every session is re-homed to its new ring owner with an
+    integrity-checked snapshot, old WALs are retired, and the layout
+    file converges to the pure ring."""
+
+    def test_sessions_survive_shard_count_change(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        logs = {}
+        with api.serve(
+            unix_path=str(tmp_path / "a.sock"),
+            shard_procs=3,
+            data_dir=data_dir,
+        ) as h:
+            with Client(h.connect_address()) as client:
+                for i in range(4):
+                    sid = f"resize-{i}"
+                    trace = generate_trace(
+                        N,
+                        WORKLOADS["random"](),
+                        duration=6.0,
+                        seed=100 + i,
+                        basic_rate=0.2,
+                    )
+                    logs[sid] = drive_and_log(client, sid, "bhmr", trace)
+
+        with api.serve(
+            unix_path=str(tmp_path / "b.sock"),
+            shard_procs=2,
+            data_dir=data_dir,
+        ) as h:
+            layout = ShardMap.load(h.server._layout_path())
+            assert layout is not None
+            assert layout.shards == 2 and not layout.overrides
+            with Client(h.connect_address()) as client:
+                for sid, log in logs.items():
+                    greeting = client.resume(sid)
+                    assert greeting["events"] == len(log), sid
+                    online = query_all(client, sid, crashed=[1])
+                    offline = offline_answers(
+                        sid, N, "bhmr", log, crashed=[1]
+                    )
+                    assert canonical_dumps(online) == canonical_dumps(offline)
+
+    def test_reconcile_folds_overrides_back_into_the_ring(self, tmp_path):
+        """A session moved by ``rebalance`` lives at its override; after
+        a restart the reconcile physically re-homes it to the ring owner
+        and clears the override table."""
+        data_dir = str(tmp_path / "data")
+        sid = "fold-me"
+        with api.serve(
+            unix_path=str(tmp_path / "a.sock"),
+            shard_procs=3,
+            data_dir=data_dir,
+        ) as h:
+            with Client(h.connect_address()) as client:
+                client.hello(sid, n=2)
+                client.checkpoint(sid, pid=0)
+                ring_owner = h.server._map.ring_owner(sid)
+                target = (ring_owner + 1) % 3
+                reply = client.call(
+                    {
+                        "kind": "rebalance",
+                        "seq": 1,
+                        "session": sid,
+                        "target": target,
+                    }
+                )
+                assert reply["moved"] is True
+            assert ShardMap.load(h.server._layout_path()).overrides == {
+                sid: target
+            }
+
+        # Same shard count, but pending overrides: full reconcile runs.
+        with api.serve(
+            unix_path=str(tmp_path / "b.sock"),
+            shard_procs=3,
+            data_dir=data_dir,
+        ) as h:
+            assert ShardMap.load(h.server._layout_path()).overrides == {}
+            with Client(h.connect_address()) as client:
+                greeting = client.resume(sid)
+                assert greeting["events"] == 1
+                assert client.query(sid, "rdt_status")["events"] == 1
+
+
+def test_relative_data_dir_works(tmp_path, monkeypatch):
+    """Shard processes run with cwd inside their shard directory, so a
+    relative ``--data-dir`` must be resolved before paths are derived
+    from it -- regression for shards re-rooting ``data/shard-k/data``
+    under themselves and never binding."""
+    monkeypatch.chdir(tmp_path)
+    with api.serve(
+        unix_path=str(tmp_path / "rel.sock"),
+        shard_procs=2,
+        data_dir="data",
+    ) as h:
+        with Client(h.connect_address()) as client:
+            client.hello("rel", n=2)
+            client.checkpoint("rel", pid=0)
+            assert client.query("rel", "rdt_status")["events"] == 1
+    assert (tmp_path / "data" / "shard-00" / "wal").is_dir()
+    assert not (tmp_path / "data" / "shard-00" / "data").exists()
+
+
+class TestRouterErrorPaths:
+    def test_unknown_kind_refused_at_the_router(self, handle):
+        with Client(handle.connect_address()) as client:
+            reply = client.call({"kind": "reboot", "seq": 1})
+            assert reply["ok"] is False and reply["error"] == "bad_request"
+
+    def test_missing_session_refused_at_the_router(self, handle):
+        with Client(handle.connect_address()) as client:
+            reply = client.call({"kind": "checkpoint", "seq": 1, "pid": 0})
+            assert reply["ok"] is False and reply["error"] == "bad_request"
+
+    def test_shard_errors_pass_through_verbatim(self, handle):
+        """A session-level error is the shard's reply, forwarded
+        byte-for-byte -- same code and detail a single-process server
+        would produce."""
+        with Client(handle.connect_address()) as client:
+            client.hello("err-s", n=2)
+            with pytest.raises(ReplyError) as err:
+                client.send("err-s", src=0, dst=0)
+            assert err.value.code == "bad_session"

@@ -83,6 +83,67 @@ class TestFrameBuffer:
         buffer.feed(frame[:7])
         assert buffer.pending() == 7
 
+    def test_completed_docs_survive_bad_frame_in_same_chunk(self):
+        """Regression: good frames preceding a FrameError must reach
+        next_doc().  A pipelined peer's acks used to vanish when an
+        oversized frame followed them in the same read."""
+        good = [{"seq": 1, "ok": True}, {"seq": 2, "ok": True}]
+        chunk = b"".join(wire.encode_frame(d) for d in good)
+        chunk += struct.pack(">I", wire.MAX_FRAME + 1) + b"x"
+        buffer = wire.FrameBuffer()
+        with pytest.raises(wire.FrameError, match="exceeds"):
+            buffer.feed(chunk)
+        assert buffer.next_doc() == good[0]
+        assert buffer.next_doc() == good[1]
+        assert buffer.next_doc() is None
+
+    def test_completed_docs_survive_undecodable_frame(self):
+        good = {"seq": 7, "ok": True}
+        bad = struct.pack(">I", 3) + b"\xff\xfe\xfd"
+        buffer = wire.FrameBuffer()
+        with pytest.raises(wire.FrameError, match="undecodable"):
+            buffer.feed(wire.encode_frame(good) + bad)
+        assert buffer.next_doc() == good
+
+
+class TestRawFrameBuffer:
+    """The router's passthrough splitter: boundaries without decoding."""
+
+    def test_payloads_are_verbatim_bytes(self):
+        docs = [{"seq": i, "kind": "checkpoint"} for i in range(5)]
+        frames = [wire.encode_frame(d) for d in docs]
+        buffer = wire.RawFrameBuffer()
+        buffer.feed(b"".join(frames))
+        for frame in frames:
+            assert buffer.next_payload() == frame[4:]
+        assert buffer.next_payload() is None
+        assert buffer.pending() == 0
+
+    def test_split_across_chunks(self):
+        frame = wire.encode_frame({"seq": 1, "blob": "z" * 100})
+        buffer = wire.RawFrameBuffer()
+        buffer.feed(frame[:30])
+        assert buffer.next_payload() is None
+        assert buffer.pending() == 30
+        buffer.feed(frame[30:])
+        assert buffer.next_payload() == frame[4:]
+
+    def test_hostile_length_prefix_refused(self):
+        buffer = wire.RawFrameBuffer()
+        buffer.feed(struct.pack(">I", wire.MAX_FRAME + 1) + b"x")
+        with pytest.raises(wire.FrameError, match="exceeds"):
+            buffer.next_payload()
+
+    def test_frame_prefix_reframes(self):
+        doc = {"seq": 3, "kind": "send"}
+        frame = wire.encode_frame(doc)
+        payload = frame[4:]
+        assert wire.frame_prefix(payload) + payload == frame
+
+    def test_frame_prefix_polices_max(self):
+        with pytest.raises(wire.FrameError, match="exceeds"):
+            wire.frame_prefix(b"x" * (wire.MAX_FRAME + 1))
+
 
 class TestErrorReply:
     def test_shape(self):

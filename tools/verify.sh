@@ -14,6 +14,19 @@ python tools/lint_determinism.py
 echo "== tier-1: pytest =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
+# Sharded stage (opt-in: spawns real shard subprocesses behind the
+# router).  REPRO_SHARDED=1 runs the multi-process differential suite
+# plus one sharded kill -9 chaos cell.
+if [ "${REPRO_SHARDED:-0}" = "1" ]; then
+    echo "== sharded: multi-process differential suite =="
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest tests/test_serve_sharded.py -x -q
+    echo "== sharded: kill -9 one shard mid-commit (1 cell) =="
+    REPRO_CHAOS=1 REPRO_CHAOS_SHARD_CELLS=1 \
+        PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest tests/chaos/test_shard_kill9.py -x -q
+fi
+
 # Chaos stage (opt-in: spawns real server subprocesses and kill -9s
 # them).  REPRO_CHAOS=1 enables it; REPRO_CHAOS_CELLS picks how many
 # randomized (seed, fsync-batch, kill-mode) cells run -- the default
