@@ -412,3 +412,148 @@ def test_wire_codec_rate(benchmark, emit):
             }
         },
     )
+
+
+# ----------------------------------------------------------------------
+# chaos mode: the same daemon behind a seeded latency schedule
+# ----------------------------------------------------------------------
+#: A fixed, replayable degradation: every write through the proxy pays
+#: CHAOS_LATENCY_S plus seeded jitter.  No faults -- the question here
+#: is *bounded p99 degradation*, not survival (the chaos test grid owns
+#: survival).
+CHAOS_SEED = 1337
+CHAOS_LATENCY_S = 0.002
+CHAOS_JITTER_S = 0.001
+CHAOS_DURATION = 12.0
+CHAOS_WINDOW = 64
+#: The added p99 must stay in the same order of magnitude as the
+#: injected latency: a few round trips' worth, never seconds.  (The
+#: proxy delays whole chunks, and deep pipelining queues behind them,
+#: so the bound is a generous multiple of the per-write delay.)
+CHAOS_P99_DEGRADATION_S = 0.25
+
+
+def _latency_run(seed: int, *, chaos: bool) -> dict:
+    """One short loadgen run against a fresh daemon, optionally through
+    the seeded chaos proxy."""
+    from repro.serve.chaosproxy import ChaosConfig, ChaosProxy
+    from repro.serve.server import ServerHandle
+
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = repo_src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory() as d:
+        sock = os.path.join(d, "serve.sock")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--unix", sock, "--workers", "2", "--queue-depth", "1024",
+                "--json",
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        proxy = None
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "server did not bind"
+                assert server.poll() is None, server.stderr.read()
+                time.sleep(0.02)
+            target = ("unix", sock)
+            if chaos:
+                proxy = ServerHandle(ChaosProxy(
+                    f"unix:{sock}",
+                    ChaosConfig(
+                        seed=CHAOS_SEED,
+                        latency_s=CHAOS_LATENCY_S,
+                        jitter_s=CHAOS_JITTER_S,
+                        unix_path=os.path.join(d, "chaos.sock"),
+                    ),
+                ))
+                target = proxy.address
+            report = run_load(
+                target,
+                sessions=SESSIONS, n=N, duration=CHAOS_DURATION,
+                window=CHAOS_WINDOW, query_every=QUERY_EVERY, seed=seed,
+                request_timeout=10.0,
+            )
+            if proxy is not None:
+                proxy.close()
+                proxy = None
+            server.send_signal(signal.SIGINT)
+            out, err = server.communicate(timeout=60)
+        except Exception:
+            if proxy is not None:
+                proxy.close()
+            server.kill()
+            raise
+    assert server.returncode == 0, err
+    return report.as_doc()
+
+
+def test_chaos_latency_degradation_is_bounded(emit):
+    """Twin runs, identical load: a seeded 2ms-per-write latency
+    schedule on the wire must cost latency quantiles, not correctness
+    -- zero errors, zero timeouts, and a p99 that degrades by a bounded
+    amount rather than collapsing."""
+    if not os.path.exists("/proc"):
+        pytest.skip("needs /proc for per-process CPU accounting")
+    baseline = _latency_run(seed=0, chaos=False)
+    chaos = _latency_run(seed=0, chaos=True)
+    emit(
+        render_table(
+            [
+                {
+                    "wire": name,
+                    "acked": r["acked"],
+                    "wall events/s": r["throughput_events_per_s"],
+                    "ingest p50 (s)": r["ingest_p50_s"],
+                    "ingest p99 (s)": r["ingest_p99_s"],
+                    "errors": r["errors"],
+                    "disconnects": r["disconnects"],
+                }
+                for name, r in (("direct", baseline), ("chaos", chaos))
+            ],
+            title=(
+                f"serve under a seeded latency schedule "
+                f"({CHAOS_LATENCY_S * 1e3:.0f}ms +/- "
+                f"{CHAOS_JITTER_S * 1e3:.0f}ms per write, seed "
+                f"{CHAOS_SEED})"
+            ),
+        )
+    )
+    for name, r in (("direct", baseline), ("chaos", chaos)):
+        assert r["errors"] == 0, f"{name}: {r['errors_by_code']}"
+        assert r["disconnects"] == 0, f"{name}: disconnects"
+        assert r["errors_by_code"] == {}, f"{name}: {r['errors_by_code']}"
+        assert r["acked"] > 0
+    degradation = chaos["ingest_p99_s"] - baseline["ingest_p99_s"]
+    assert degradation < CHAOS_P99_DEGRADATION_S, (
+        f"p99 degraded by {degradation:.3f}s under a "
+        f"{CHAOS_LATENCY_S * 1e3:.0f}ms latency schedule, bound is "
+        f"{CHAOS_P99_DEGRADATION_S}s"
+    )
+    write_bench(
+        "serve",
+        {
+            "chaos": {
+                "seed": CHAOS_SEED,
+                "latency_s": CHAOS_LATENCY_S,
+                "jitter_s": CHAOS_JITTER_S,
+                "duration_s": CHAOS_DURATION,
+                "sessions": SESSIONS,
+                "window": CHAOS_WINDOW,
+                "baseline_ingest_p50_s": baseline["ingest_p50_s"],
+                "baseline_ingest_p99_s": baseline["ingest_p99_s"],
+                "chaos_ingest_p50_s": chaos["ingest_p50_s"],
+                "chaos_ingest_p99_s": chaos["ingest_p99_s"],
+                "p99_degradation_s": round(degradation, 6),
+                "baseline_wall_events_per_s": baseline[
+                    "throughput_events_per_s"
+                ],
+                "chaos_wall_events_per_s": chaos["throughput_events_per_s"],
+            }
+        },
+    )

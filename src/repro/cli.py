@@ -630,14 +630,16 @@ def cmd_client(args) -> int:
     """One request against a running service; prints the JSON reply."""
     from repro.types import ReproError
 
-    if args.session is None:
+    if args.session is None and args.op != "ping":
         raise SystemExit(f"--session is required for {args.op}")
     try:
         client = api.connect(args.address, timeout=args.timeout)
     except ConnectionError as exc:
         raise SystemExit(str(exc))
     try:
-        if args.op == "hello":
+        if args.op == "ping":
+            reply = client.ping()
+        elif args.op == "hello":
             reply = client.hello(args.session, n=args.n, protocol=args.protocol)
         elif args.op == "checkpoint":
             reply = client.checkpoint(args.session, args.pid)
@@ -674,6 +676,7 @@ def cmd_loadgen(args) -> int:
             basic_rate=args.basic_rate,
             window=args.window,
             query_every=args.query_every,
+            request_timeout=args.request_timeout,
         )
     except ConnectionError as exc:
         raise SystemExit(str(exc))
@@ -885,7 +888,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("address", help="host:port or unix:/path")
     p.add_argument(
         "op",
-        choices=["hello", "checkpoint", "send", "deliver", "query", "snapshot"],
+        choices=[
+            "hello", "checkpoint", "send", "deliver", "query", "snapshot",
+            "ping",
+        ],
     )
     p.add_argument("--session", default=None, help="session id")
     p.add_argument("-n", type=int, default=None, help="hello: process count")
@@ -920,6 +926,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="OPS",
         help="interleave an rdt_status query every OPS ingest ops",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-request deadline in seconds (default 10; a stalled "
+        "server surfaces as timeout errors, never a hang)",
     )
     p.add_argument(
         "--json",

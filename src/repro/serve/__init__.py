@@ -24,15 +24,27 @@ Layers
 * :mod:`repro.serve.router` -- N shard processes behind one asyncio
   router (per-shard WAL/snapshots, ``shard_down`` degradation,
   snapshot-verified rebalance);
-* :mod:`repro.serve.client` -- sync and async client libraries;
-* :mod:`repro.serve.loadgen` -- workload replay through N connections.
+* :mod:`repro.serve.client` -- sync and async client libraries
+  (per-request deadlines, seeded retry backoff, circuit breaking);
+* :mod:`repro.serve.loadgen` -- workload replay through N connections;
+* :mod:`repro.serve.chaosproxy` -- seeded wire-level fault injection
+  (latency/jitter, throttling, fragmentation, resets, stalls,
+  truncation) for the chaos suites.
 
 The blessed entrypoints are :func:`repro.api.serve` and
 :func:`repro.api.connect`; the CLI verbs are ``repro serve``,
 ``repro client`` and ``repro loadgen``.
 """
 
-from repro.serve.client import AsyncClient, Client, parse_address
+from repro.serve.chaosproxy import ChaosConfig, ChaosProxy, ChaosSchedule
+from repro.serve.client import (
+    AsyncClient,
+    CircuitOpen,
+    Client,
+    ReplyError,
+    RequestTimeout,
+    parse_address,
+)
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.router import Router, RouterConfig
 from repro.serve.server import CheckpointServer, ServerConfig, ServerHandle
@@ -60,10 +72,16 @@ from repro.serve.wire import (
 
 __all__ = [
     "AsyncClient",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosSchedule",
     "CheckpointServer",
+    "CircuitOpen",
     "Client",
     "FrameBuffer",
     "FrameError",
+    "ReplyError",
+    "RequestTimeout",
     "IngestWal",
     "LoadReport",
     "MAX_FRAME",

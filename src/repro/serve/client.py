@@ -13,14 +13,36 @@ Both raise :class:`ReplyError` when the server answers ``ok: false``
 (the reply's error code is on the exception, so callers can tell a
 shed ``overloaded`` frame -- retryable -- from a real fault), and plain
 :class:`ConnectionError` when the peer is gone.
+
+Resilience semantics (the wire-chaos grid tortures all of these):
+
+* **Deadlines.**  Every call on both clients is bounded: the sync
+  client by its socket timeout, the async client by a per-request
+  ``timeout`` applied to every awaited reply (not just the dial).  A
+  deadline miss raises the typed, retryable :class:`RequestTimeout`
+  and *invalidates* the connection -- the request may be half-sent or
+  its reply half-received, so the framing can no longer be trusted.
+* **Seeded backoff.**  The sync client's transparent retry of
+  :data:`RETRYABLE_CODES` uses jittered exponential backoff drawn from
+  a seeded RNG (``retry_delay`` base, doubling per attempt, capped at
+  ``backoff_cap``, uniform jitter in [0.5x, 1x)) with a bounded retry
+  budget (``retries``), so a restarting shard is neither hammered nor
+  waited on forever -- and a chaos cell replays identically.
+* **Circuit breaking.**  Opt-in via ``circuit_threshold``: after that
+  many *consecutive* transport-level failures (timeouts, connection
+  errors, exhausted retryable refusals) the circuit opens and calls
+  fail fast with :class:`CircuitOpen` for ``circuit_cooldown`` seconds;
+  the first call after the cooldown is a half-open probe that closes
+  the circuit on success and re-opens it on failure.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.serve import wire
 from repro.types import ReproError
@@ -49,9 +71,26 @@ class RequestTimeout(ReproError):
     """
 
 
+class CircuitOpen(ReproError):
+    """The client's circuit breaker is open: recent calls failed at the
+    transport level, so this call failed fast without touching the
+    socket.  Retryable after the cooldown -- the next call past it is a
+    half-open probe."""
+
+    def __init__(self, remaining_s: float) -> None:
+        super().__init__(
+            f"circuit open after consecutive transport failures; "
+            f"probe allowed in {remaining_s:.3f}s"
+        )
+        self.remaining_s = remaining_s
+
+
 #: Error codes a sync :class:`Client` transparently retries: the frame
 #: was *refused before being applied* (the owning shard is restarting,
 #: or the session is mid-rebalance), so resending cannot double-apply.
+#: Deliberately excludes ``shard_degraded`` (terminal until an operator
+#: acts) and ``overloaded`` (shedding means *back off*, a policy the
+#: caller owns -- pass ``retry_codes`` to opt in).
 RETRYABLE_CODES = frozenset({"shard_down"})
 
 
@@ -119,11 +158,15 @@ class Client(_Requests):
     """Blocking client: one request, one reply, in order.
 
     ``retries``/``retry_delay`` govern transparent retry of replies
-    whose error code is in :data:`RETRYABLE_CODES` (``shard_down`` from
-    a sharded deployment whose owning shard is restarting or whose
-    session is mid-rebalance).  These frames were refused *before*
-    application, so a resend cannot double-apply; a single-process
-    server never emits them, so the knobs are inert there.
+    whose error code is in ``retry_codes`` (default
+    :data:`RETRYABLE_CODES`: ``shard_down`` from a sharded deployment
+    whose owning shard is restarting or whose session is
+    mid-rebalance).  These frames were refused *before* application,
+    so a resend cannot double-apply; a single-process server never
+    emits them, so the knobs are inert there.  Retry pacing is seeded
+    jittered exponential backoff (see the module docstring); the
+    optional circuit breaker (``circuit_threshold > 0``) fails fast
+    with :class:`CircuitOpen` while the service is demonstrably down.
     """
 
     def __init__(
@@ -133,6 +176,13 @@ class Client(_Requests):
         *,
         retries: int = 8,
         retry_delay: float = 0.25,
+        backoff_cap: float = 2.0,
+        backoff_seed: int = 0,
+        retry_codes: Optional[Iterable[str]] = None,
+        circuit_threshold: int = 0,
+        circuit_cooldown: float = 1.0,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.address = parse_address(address)
         self._timeout = timeout
@@ -141,7 +191,32 @@ class Client(_Requests):
         self._dead = False
         self.retries = retries
         self.retry_delay = retry_delay
+        self.backoff_cap = backoff_cap
+        self.retry_codes: FrozenSet[str] = (
+            frozenset(retry_codes) if retry_codes is not None else RETRYABLE_CODES
+        )
+        self.circuit_threshold = circuit_threshold
+        self.circuit_cooldown = circuit_cooldown
+        self.tracer = tracer
+        self.metrics = metrics
+        self._rng = random.Random(f"client-backoff:{backoff_seed}")
+        self._clock = 0  # trace event ordering, not wall time
+        self._circuit_failures = 0
+        self._circuit_open_until: Optional[float] = None
+        self._circuit_half_open = False
         self._dial()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, **fields: object) -> None:
+        if self.tracer is not None:
+            self._clock += 1
+            self.tracer.event(kind, self._clock, **fields)
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
 
     def _dial(self) -> None:
         try:
@@ -231,6 +306,7 @@ class Client(_Requests):
             while True:
                 reply = wire.recv_frame(self._sock, self._buffer)
                 if reply is None:
+                    self._invalidate()
                     raise ConnectionError("server closed the connection")
                 if reply.get("seq") == doc["seq"]:
                     return reply
@@ -240,6 +316,18 @@ class Client(_Requests):
                 f"no reply within {self._timeout}s; connection invalidated, "
                 f"reconnect() to retry"
             ) from exc
+        except wire.FrameError as exc:
+            # A truncated or garbled frame (peer died mid-write, hostile
+            # middlebox): the stream is untrustworthy from here on.
+            # Normalised to ConnectionError so callers handle exactly
+            # one retry-after-reconnect exception family.
+            self._invalidate()
+            raise ConnectionError(
+                f"broken framing from peer ({exc}); reconnect() to retry"
+            ) from exc
+        except ConnectionError:
+            self._invalidate()
+            raise
 
     def _invalidate(self) -> None:
         """Framing is no longer trustworthy: drop socket and buffer."""
@@ -251,17 +339,87 @@ class Client(_Requests):
             pass
 
     def request(self, kind: str, **fields: object) -> Dict[str, object]:
+        self._check_circuit()
         self._seq += 1
         doc = self._frame(kind, self._seq, **fields)
         attempt = 0
         while True:
             try:
-                return _raise_if_error(self.call(doc))
+                reply = self.call(doc)
+            except (RequestTimeout, ConnectionError):
+                self._record_failure()
+                raise
+            try:
+                result = _raise_if_error(reply)
             except ReplyError as exc:
-                if exc.code not in RETRYABLE_CODES or attempt >= self.retries:
+                if exc.code not in self.retry_codes or attempt >= self.retries:
+                    if exc.code in self.retry_codes:
+                        # Budget exhausted on a transport-level refusal:
+                        # that is a service-health signal the breaker
+                        # must see.  Application errors are not.
+                        self._record_failure()
+                    else:
+                        self._record_success()
                     raise
                 attempt += 1
-                time.sleep(self.retry_delay)
+                delay = self._backoff_delay(attempt)
+                self._trace(
+                    "serve.client.retry",
+                    op=kind,
+                    code=exc.code,
+                    attempt=attempt,
+                    delay_s=round(delay, 6),
+                )
+                self._inc("serve.client.retries")
+                time.sleep(delay)
+                continue
+            self._record_success()
+            return result
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff for retry ``attempt`` (1-based):
+        ``min(cap, base * 2^(attempt-1))`` scaled by a seeded uniform
+        jitter in [0.5, 1.0) so synchronized clients fan out."""
+        base = min(self.backoff_cap, self.retry_delay * (2 ** (attempt - 1)))
+        return base * (0.5 + self._rng.random() / 2.0)
+
+    # ------------------------------------------------------------------
+    # circuit breaker (opt-in: circuit_threshold > 0)
+    # ------------------------------------------------------------------
+    def _check_circuit(self) -> None:
+        if self.circuit_threshold <= 0 or self._circuit_open_until is None:
+            return
+        now = time.monotonic()
+        if now < self._circuit_open_until:
+            self._inc("serve.client.circuit_rejected")
+            raise CircuitOpen(self._circuit_open_until - now)
+        # Cooldown elapsed: half-open, let exactly this call probe.
+        self._circuit_open_until = None
+        self._circuit_half_open = True
+        self._trace("serve.client.circuit", state="half_open")
+
+    def _record_failure(self) -> None:
+        self._circuit_failures += 1
+        if self.circuit_threshold <= 0:
+            return
+        if self._circuit_half_open or (
+            self._circuit_failures >= self.circuit_threshold
+        ):
+            self._circuit_open_until = time.monotonic() + self.circuit_cooldown
+            self._circuit_half_open = False
+            self._trace(
+                "serve.client.circuit",
+                state="open",
+                failures=self._circuit_failures,
+                cooldown_s=self.circuit_cooldown,
+            )
+            self._inc("serve.client.circuit_open")
+
+    def _record_success(self) -> None:
+        self._circuit_failures = 0
+        if self._circuit_half_open:
+            self._circuit_half_open = False
+            self._trace("serve.client.circuit", state="closed")
 
     # -- the vocabulary -------------------------------------------------
     def hello(
@@ -298,11 +456,16 @@ class Client(_Requests):
     def snapshot(self, session: str) -> Dict[str, object]:
         return self.request("snapshot", session=session)
 
+    def ping(self) -> Dict[str, object]:
+        """Health probe: answered even by a degraded (WAL-failed)
+        server or a router with dead shards; the reply says which."""
+        return self.request("ping")
+
     def bye(self) -> None:
         self._seq += 1
         try:
             self.call(self._frame("bye", self._seq))
-        except (ConnectionError, OSError):
+        except (ReproError, ConnectionError, OSError):
             pass
 
     def close(self) -> None:
@@ -322,20 +485,35 @@ class Client(_Requests):
 
 
 class AsyncClient(_Requests):
-    """Pipelining asyncio client; create via :meth:`connect`."""
+    """Pipelining asyncio client; create via :meth:`connect`.
+
+    ``timeout`` is a *per-request deadline*, not just a dial guard:
+    every awaited reply (:meth:`call`, :meth:`reply`) and every
+    :meth:`flush` is bounded by it.  A deadline miss raises the same
+    typed :class:`RequestTimeout` as the sync client and invalidates
+    the connection -- in-flight futures fail, later submits fail fast
+    with :class:`ConnectionError` -- because a reply that arrives late
+    would desync the pipelining bookkeeping.  Reconnect via
+    :meth:`connect`; ``timeout=None`` disables the deadline.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: Optional[float] = 10.0,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._timeout = timeout
         self._seq = 0
+        self._dead = False
         self._pending: Dict[object, asyncio.Future] = {}
         self._reader_task = asyncio.ensure_future(self._read_replies())
 
     @classmethod
     async def connect(
-        cls, address: Union[str, Address], timeout: float = 10.0
+        cls, address: Union[str, Address], timeout: Optional[float] = 10.0
     ) -> "AsyncClient":
         addr = parse_address(address)
         try:
@@ -350,7 +528,7 @@ class AsyncClient(_Requests):
             raise ConnectionError(
                 f"cannot connect to {addr!r}: {exc}"
             ) from exc
-        return cls(reader, writer)
+        return cls(reader, writer, timeout=timeout)
 
     # ------------------------------------------------------------------
     async def _read_replies(self) -> None:
@@ -397,6 +575,15 @@ class AsyncClient(_Requests):
         # and get_event_loop inside a running loop warns today and is
         # slated to raise on future CPython.
         future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if self._dead:
+            future.set_exception(
+                ConnectionError(
+                    "connection invalidated after a timeout; reconnect via "
+                    "AsyncClient.connect()"
+                )
+            )
+            future.exception()  # consumed here; awaiting still raises
+            return future
         self._pending[seq] = future
         try:
             self._writer.write(wire.encode_frame(doc))
@@ -407,13 +594,59 @@ class AsyncClient(_Requests):
         return future
 
     async def flush(self) -> None:
-        """Honour the transport's backpressure after a burst of submits."""
-        await self._writer.drain()
+        """Honour the transport's backpressure after a burst of submits.
+
+        Deadline-bounded like every other await: a peer that stalls
+        while our transport buffer is full would otherwise hang the
+        drain forever.
+        """
+        if self._timeout is None:
+            await self._writer.drain()
+            return
+        try:
+            await asyncio.wait_for(self._writer.drain(), timeout=self._timeout)
+        except asyncio.TimeoutError:
+            self._invalidate()
+            raise RequestTimeout(
+                f"transport refused to drain within {self._timeout}s; "
+                f"connection invalidated"
+            ) from None
+
+    async def reply(self, future: "asyncio.Future") -> Dict[str, object]:
+        """Await one submitted request's raw reply under the deadline.
+
+        This is the awaiting half of the pipelining primitive: callers
+        that ``submit`` in bursts must collect through here (or
+        :meth:`call`) so a stalled or blackholed server surfaces as
+        :class:`RequestTimeout` instead of an eternal hang.
+        """
+        if self._timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout=self._timeout)
+        except asyncio.TimeoutError:
+            # The reply may yet arrive -- late, out of budget.  Frame
+            # accounting can no longer be trusted, so the whole
+            # connection is invalidated, failing every other in-flight
+            # future (the reader task's cleanup does that).
+            self._invalidate()
+            raise RequestTimeout(
+                f"no reply within {self._timeout}s; connection invalidated, "
+                f"reconnect via AsyncClient.connect()"
+            ) from None
+
+    def _invalidate(self) -> None:
+        self._dead = True
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+        except Exception:
+            pass
 
     async def call(self, kind: str, **fields: object) -> Dict[str, object]:
         future = self.submit(kind, **fields)
-        await self._writer.drain()
-        return _raise_if_error(await future)
+        await self.flush()
+        return _raise_if_error(await self.reply(future))
 
     # -- the vocabulary -------------------------------------------------
     async def hello(
@@ -449,6 +682,10 @@ class AsyncClient(_Requests):
 
     async def snapshot(self, session: str) -> Dict[str, object]:
         return await self.call("snapshot", session=session)
+
+    async def ping(self) -> Dict[str, object]:
+        """Health probe; see :meth:`Client.ping`."""
+        return await self.call("ping")
 
     async def resume(self, session: str) -> Dict[str, object]:
         """Re-greet ``session``; see :meth:`Client.resume`.

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
-from repro.serve.client import Address, AsyncClient
+from repro.serve.client import Address, AsyncClient, RequestTimeout
 from repro.sim.generate import generate_trace
 from repro.sim.trace import Trace, TraceOpKind
 from repro.types import SimulationError
@@ -54,6 +54,12 @@ class LoadReport:
     disconnects: int = 0
     queries: int = 0
     duration_s: float = 0.0
+    #: Per-error-code breakdown of everything that wasn't an ack:
+    #: ``overloaded`` (also counted in ``shed``), ``shard_down``,
+    #: ``wal_failure``, ..., plus ``"timeout"`` for per-request
+    #: deadline misses.  Chaos benchmarks assert on these rates; a
+    #: single ``errors`` scalar silently conflated them.
+    errors_by_code: Dict[str, int] = field(default_factory=dict)
     ingest_latencies_s: List[float] = field(default_factory=list, repr=False)
     query_latencies_s: List[float] = field(default_factory=list, repr=False)
     per_session: Dict[str, int] = field(default_factory=dict)
@@ -82,6 +88,7 @@ class LoadReport:
             "errors": self.errors,
             "skipped_delivers": self.skipped_delivers,
             "disconnects": self.disconnects,
+            "errors_by_code": dict(sorted(self.errors_by_code.items())),
             "queries": self.queries,
             "duration_s": round(self.duration_s, 6),
             "throughput_events_per_s": round(self.throughput, 1),
@@ -101,6 +108,7 @@ async def _drive_session(
     window: int,
     query_every: int,
     report: LoadReport,
+    request_timeout: Optional[float] = None,
 ) -> int:
     """Replay one trace through one pipelined connection.
 
@@ -108,6 +116,9 @@ async def _drive_session(
     load) is not an error: the session's accumulated counts stay in the
     report and ``disconnects`` is bumped, so shutdown-under-load tests
     can compare client-side acks against server-side applied counts.
+    A per-request deadline miss (the server stalled; see
+    :meth:`AsyncClient.reply`) is counted as ``errors_by_code["timeout"]``
+    plus a disconnect, since the deadline invalidates the connection.
 
     Returns the number of ``send_futures`` entries left at the end:
     send replies are popped when their deliver consumes them, so the
@@ -115,17 +126,23 @@ async def _drive_session(
     ``--duration`` runs must not accumulate one reply document per send
     for the whole run (that was a real RSS leak).
     """
-    client = await AsyncClient.connect(address)
+    client = await AsyncClient.connect(
+        address, timeout=request_timeout if request_timeout is not None else 10.0
+    )
     inflight: Deque[Tuple["asyncio.Future", float, bool]] = deque()
     send_futures: Dict[object, "asyncio.Future"] = {}
     acked_here = 0
+
+    def _miss(code: str) -> None:
+        report.errors_by_code[code] = report.errors_by_code.get(code, 0) + 1
+
     try:
         await client.hello(session_id, n=trace.n, protocol=protocol)
 
         async def reap_one() -> None:
             nonlocal acked_here
             future, started, is_query = inflight.popleft()
-            reply = await future
+            reply = await client.reply(future)
             latency = perf_counter() - started
             if reply.get("ok", False):
                 if is_query:
@@ -136,8 +153,10 @@ async def _drive_session(
                     acked_here += 1
             elif reply.get("error") == "overloaded":
                 report.shed += 1
+                _miss("overloaded")
             else:
                 report.errors += 1
+                _miss(str(reply.get("error", "error")))
 
         ops_done = 0
         for op in trace.ops:
@@ -156,7 +175,7 @@ async def _drive_session(
                 # Pop, not read: each send reply has exactly one
                 # consumer, and keeping it would pin every reply doc of
                 # the run in memory.
-                send_reply = await send_futures.pop(op.msg_id)
+                send_reply = await client.reply(send_futures.pop(op.msg_id))
                 if not send_reply.get("ok", False):
                     report.skipped_delivers += 1
                     continue
@@ -178,8 +197,16 @@ async def _drive_session(
                 inflight.append((qfuture, perf_counter(), True))
         while inflight:
             await reap_one()
+    except RequestTimeout:
+        # The deadline fired and invalidated the connection: the
+        # stalled request is a classified error, the lost connection a
+        # disconnect (every other in-flight frame died with it).
+        report.errors += 1
+        _miss("timeout")
+        report.disconnects += 1
     except ConnectionError:
         report.disconnects += 1
+        _miss("disconnect")
     finally:
         report.per_session[session_id] = acked_here
         await client.close()
@@ -198,6 +225,7 @@ async def run_load_async(
     basic_rate: float = 0.1,
     window: int = 64,
     query_every: int = 0,
+    request_timeout: Optional[float] = None,
 ) -> LoadReport:
     """Drive ``sessions`` concurrent pipelined sessions; returns the report."""
     if workload not in WORKLOADS:
@@ -229,6 +257,7 @@ async def run_load_async(
                 window,
                 query_every,
                 report,
+                request_timeout,
             )
             for i in range(sessions)
         )
@@ -249,6 +278,7 @@ def run_load(
     basic_rate: float = 0.1,
     window: int = 64,
     query_every: int = 0,
+    request_timeout: Optional[float] = None,
 ) -> LoadReport:
     """Blocking wrapper around :func:`run_load_async` (the CLI entrypoint)."""
     return asyncio.run(
@@ -263,5 +293,6 @@ def run_load(
             basic_rate=basic_rate,
             window=window,
             query_every=query_every,
+            request_timeout=request_timeout,
         )
     )

@@ -101,8 +101,17 @@ class RouterConfig:
     #: How long one shard process may take to bind its socket (WAL
     #: replay happens before the bind, so recovery time counts).
     spawn_timeout: float = 30.0
-    #: Pause before respawning a dead shard.
+    #: Base pause before respawning a dead shard; each consecutive
+    #: death doubles it up to ``restart_backoff_cap``.
     restart_backoff: float = 0.2
+    #: Ceiling on the exponential respawn backoff.
+    restart_backoff_cap: float = 5.0
+    #: Crash-loop trip wire: more than ``flap_max_restarts`` deaths
+    #: (including failed respawns) inside ``flap_window`` seconds parks
+    #: the shard in a terminal ``shard_degraded`` state instead of
+    #: respawning forever.  ``flap_max_restarts = 0`` disables the wire.
+    flap_window: float = 30.0
+    flap_max_restarts: int = 5
 
     def __post_init__(self) -> None:
         if self.shard_procs <= 0:
@@ -127,6 +136,11 @@ class _Shard:
         self.up = asyncio.Event()
         self.forwarded = 0
         self.restarts = 0
+        #: Terminal: the crash-loop trip wire fired; no more respawns.
+        self.degraded = False
+        #: ``loop.time()`` stamps of recent deaths/failed respawns
+        #: (trimmed to what the trip wire can possibly need).
+        self.restart_times: List[float] = []
 
     @property
     def wal_dir(self) -> Path:
@@ -457,11 +471,41 @@ class Router:
         shard.up.clear()
 
     async def _supervise(self, shard: _Shard) -> None:
-        """Respawn a shard whose process died; WAL replay heals it."""
+        """Respawn a shard whose process died; WAL replay heals it.
+
+        Pacing is a capped exponential backoff: the first respawn after
+        a stretch of stable uptime waits ``restart_backoff``, and each
+        consecutive death doubles the wait up to ``restart_backoff_cap``
+        -- WAL replay is exactly the kind of work a tight respawn loop
+        would thrash.  A shard that keeps dying -- more than
+        ``flap_max_restarts`` deaths (failed respawns included) inside
+        ``flap_window`` seconds -- trips the crash-loop wire: it is
+        parked in a terminal ``shard_degraded`` state and never
+        respawned again, because a deterministic crash (corrupt WAL,
+        bad binary, poisoned session) would otherwise flap forever
+        while clients burn retry budgets against a shard that can never
+        come back.  Parking is visible: a ``serve.shard.flapping``
+        trace/metric fires, ``stats``/``ping`` report the shard as
+        degraded, and its key range answers a *non-retryable*
+        ``shard_degraded`` error so callers fail fast instead of
+        retrying into a wall.
+        """
+        loop = asyncio.get_running_loop()
+        consecutive = 0
         while not self._stopping:
             await asyncio.sleep(0.2)
             proc = shard.proc
-            if proc is None or proc.poll() is None or self._stopping:
+            if proc is None or self._stopping:
+                continue
+            if proc.poll() is None:
+                # Alive.  A full flap window of stable uptime forgives
+                # past deaths, so a once-flappy shard does not pay
+                # compounding backoff forever.
+                if consecutive and shard.restart_times and (
+                    loop.time() - shard.restart_times[-1]
+                    > self.config.flap_window
+                ):
+                    consecutive = 0
                 continue
             shard.up.clear()
             shard.restarts += 1
@@ -477,18 +521,60 @@ class Router:
                     sum(1 for s in self._shards if s.up.is_set()),
                 )
             proc.communicate()  # reap; pipes are dead anyway
-            await asyncio.sleep(self.config.restart_backoff)
-            if self._stopping:
-                return
-            try:
-                await self._spawn(shard)
-            except SimulationError:
-                # Spawn failed (e.g. WAL corruption halting recovery):
-                # the shard stays down, its key range answers
-                # shard_down, everything else keeps serving.  The
-                # supervisor keeps trying.
-                self._trace("serve.shard.respawn_failed", shard=shard.index)
-                await asyncio.sleep(max(1.0, self.config.restart_backoff))
+            while not self._stopping:
+                now = loop.time()
+                consecutive += 1
+                shard.restart_times.append(now)
+                keep = max(2, self.config.flap_max_restarts + 2)
+                del shard.restart_times[:-keep]
+                if self._flapping(shard, now):
+                    self._park(shard)
+                    return
+                delay = min(
+                    self.config.restart_backoff_cap,
+                    self.config.restart_backoff * (2 ** (consecutive - 1)),
+                )
+                await asyncio.sleep(delay)
+                if self._stopping:
+                    return
+                try:
+                    await self._spawn(shard)
+                    break
+                except SimulationError:
+                    # Spawn failed (e.g. WAL corruption halting
+                    # recovery): the shard stays down, its key range
+                    # answers shard_down, and the failure counts toward
+                    # the crash-loop wire like any other death.
+                    self._trace(
+                        "serve.shard.respawn_failed", shard=shard.index
+                    )
+
+    def _flapping(self, shard: _Shard, now: float) -> bool:
+        limit = self.config.flap_max_restarts
+        if limit <= 0:
+            return False
+        recent = [
+            t for t in shard.restart_times
+            if now - t <= self.config.flap_window
+        ]
+        return len(recent) > limit
+
+    def _park(self, shard: _Shard) -> None:
+        """Terminal: stop respawning a crash-looping shard."""
+        shard.degraded = True
+        self._kill(shard)
+        self._trace(
+            "serve.shard.flapping",
+            shard=shard.index,
+            restarts=shard.restarts,
+            window_s=self.config.flap_window,
+        )
+        if self.metrics is not None:
+            self.metrics.inc("serve.shard.flapping")
+            self.metrics.set(
+                "serve.shard.degraded",
+                sum(1 for s in self._shards if s.degraded),
+            )
 
     # ------------------------------------------------------------------
     # client connections
@@ -577,6 +663,24 @@ class Router:
         if kind == "stats":
             self._reply(conn, self._stats_reply(seq))
             return True
+        if kind == "ping":
+            self._reply(
+                conn,
+                {
+                    "ok": True,
+                    "seq": seq,
+                    "pong": True,
+                    "role": "router",
+                    "shards": len(self._shards),
+                    "shards_up": sum(
+                        1 for s in self._shards if s.up.is_set()
+                    ),
+                    "degraded": sorted(
+                        s.index for s in self._shards if s.degraded
+                    ),
+                },
+            )
+            return True
         if kind == "rebalance":
             await self._flush_batches(conn, batches)
             self._reply(conn, await self._rebalance(doc))
@@ -609,6 +713,20 @@ class Router:
             owner = self._map.owner(session_id)
             self._owner_cache[session_id] = owner
         shard = self._shards[owner]
+        if shard.degraded:
+            # Deliberately NOT retryable: the shard will never come
+            # back without operator action, so clients must fail fast
+            # instead of burning their retry budget against a wall.
+            self._reply(
+                conn,
+                wire.error_reply(
+                    seq,
+                    "shard_degraded",
+                    f"shard {shard.index} is crash-looping and has been "
+                    f"parked; operator action required",
+                ),
+            )
+            return True
         if not shard.up.is_set():
             self._reply(
                 conn,
@@ -779,6 +897,7 @@ class Router:
                     "pid": s.proc.pid if s.proc is not None else None,
                     "forwarded": s.forwarded,
                     "restarts": s.restarts,
+                    "degraded": s.degraded,
                 }
                 for s in self._shards
             ],

@@ -423,6 +423,21 @@ class CheckpointServer:
         if kind == "bye":
             await conn.reply({"ok": True, "seq": seq, "bye": True})
             return False
+        if kind == "ping":
+            # Health probes must answer even when the WAL has failed:
+            # a halted daemon is *degraded*, not unreachable, and the
+            # difference is exactly what a supervisor needs to see.
+            await conn.reply(
+                {
+                    "ok": True,
+                    "seq": seq,
+                    "pong": True,
+                    "role": "server",
+                    "sessions": len(self.sessions),
+                    "degraded": self._wal_failed is not None,
+                }
+            )
+            return True
         if self._wal_failed is not None:
             # Halted (see _fail_wal): refuse rather than accept frames
             # whose acks could never be made durable.

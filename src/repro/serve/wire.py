@@ -31,7 +31,16 @@ from typing import Dict, List, Optional
 from repro.obs.jsonio import canonical_bytes
 
 #: Request kinds understood by the server.
-KINDS = ("hello", "checkpoint", "send", "deliver", "query", "snapshot", "bye")
+KINDS = (
+    "hello",
+    "checkpoint",
+    "send",
+    "deliver",
+    "query",
+    "snapshot",
+    "ping",
+    "bye",
+)
 
 #: Hard ceiling on one frame's payload size (1 MiB): a malformed or
 #: hostile length prefix must not make the server allocate unbounded

@@ -4,6 +4,7 @@ import asyncio
 import os
 import socket
 import threading
+import time
 import warnings
 
 import pytest
@@ -11,6 +12,7 @@ import pytest
 from repro.serve import wire
 from repro.serve.client import (
     AsyncClient,
+    CircuitOpen,
     Client,
     ReplyError,
     RequestTimeout,
@@ -320,3 +322,196 @@ class TestAsyncClientLoopApi:
 
         with _ScriptedServer(path, handler):
             asyncio.run(scenario())
+
+
+class TestAsyncClientDeadline:
+    """The per-request deadline: a stalled server must never hang an
+    AsyncClient await (before this, only ``connect`` was guarded)."""
+
+    def test_stalled_server_times_out_instead_of_hanging(self, tmp_path):
+        def handler(index, conn):
+            # Greet, then go silent forever: read and discard frames,
+            # never reply -- the proxy's "stall" fault, scripted.
+            buffer = wire.FrameBuffer()
+            doc = wire.recv_frame(conn, buffer)
+            if doc is not None:
+                wire.send_frame(conn, {"ok": True, "seq": doc["seq"]})
+            while wire.recv_frame(conn, buffer) is not None:
+                pass
+
+        path = tmp_path / "stall.sock"
+
+        async def scenario():
+            client = await AsyncClient.connect(f"unix:{path}", timeout=0.3)
+            assert (await client.call("hello"))["ok"] is True
+            started = time.monotonic()
+            with pytest.raises(RequestTimeout, match="0.3"):
+                await client.call("checkpoint", session="s", pid=0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0  # bounded, not a hang
+            # The connection is invalidated: later submits fail fast.
+            with pytest.raises(ConnectionError, match="invalidated"):
+                await client.reply(client.submit("query", session="s"))
+            await client.close()
+
+        with _ScriptedServer(path, handler):
+            asyncio.run(scenario())
+
+    def test_deadline_failure_fails_other_inflight_futures(self, tmp_path):
+        def handler(index, conn):
+            buffer = wire.FrameBuffer()
+            while wire.recv_frame(conn, buffer) is not None:
+                pass  # never answer anything
+
+        path = tmp_path / "stall2.sock"
+
+        async def scenario():
+            client = await AsyncClient.connect(f"unix:{path}", timeout=0.2)
+            first = client.submit("checkpoint", session="s", pid=0)
+            second = client.submit("checkpoint", session="s", pid=1)
+            await client.flush()
+            with pytest.raises(RequestTimeout):
+                await client.reply(first)
+            # The sibling future dies with the connection instead of
+            # pending forever.
+            with pytest.raises(ConnectionError):
+                await asyncio.wait_for(second, timeout=2.0)
+            await client.close()
+
+        with _ScriptedServer(path, handler):
+            asyncio.run(scenario())
+
+    def test_timeout_none_disables_deadline(self, tmp_path):
+        def handler(index, conn):
+            _serve_ok(conn)
+
+        path = tmp_path / "nodl.sock"
+
+        async def scenario():
+            client = await AsyncClient.connect(f"unix:{path}", timeout=None)
+            assert (await client.call("query", session="s"))["ok"] is True
+            await client.close()
+
+        with _ScriptedServer(path, handler):
+            asyncio.run(scenario())
+
+
+class TestBackoffAndCircuit:
+    def test_backoff_is_seeded_exponential_and_capped(self, tmp_path):
+        def handler(index, conn):
+            _serve_ok(conn)
+
+        path = tmp_path / "bk.sock"
+        with _ScriptedServer(path, handler):
+            a = Client(f"unix:{path}", retry_delay=0.1, backoff_cap=0.4,
+                       backoff_seed=7)
+            b = Client(f"unix:{path}", retry_delay=0.1, backoff_cap=0.4,
+                       backoff_seed=7)
+            c = Client(f"unix:{path}", retry_delay=0.1, backoff_cap=0.4,
+                       backoff_seed=8)
+            da = [a._backoff_delay(i) for i in range(1, 7)]
+            db = [b._backoff_delay(i) for i in range(1, 7)]
+            dc = [c._backoff_delay(i) for i in range(1, 7)]
+            assert da == db  # same seed -> identical jitter stream
+            assert da != dc  # different seed -> fans out
+            for i, delay in enumerate(da, start=1):
+                base = min(0.4, 0.1 * 2 ** (i - 1))
+                assert base * 0.5 <= delay < base  # jitter in [0.5x, 1x)
+            a.close(); b.close(); c.close()
+
+    def test_circuit_opens_after_consecutive_failures(self, tmp_path):
+        state = {"healthy": False}
+
+        def handler(index, conn):
+            if not state["healthy"]:
+                conn.close()  # slam the door: a transport-level failure
+                return
+            _serve_ok(conn)
+
+        path = tmp_path / "cb.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(
+                f"unix:{path}",
+                retries=0,
+                circuit_threshold=2,
+                circuit_cooldown=0.2,
+            )
+            # Two consecutive transport failures trip the breaker ...
+            for _ in range(2):
+                with pytest.raises(ConnectionError):
+                    client.request("query", session="s")
+                client.reconnect(retries=3, delay=0.01)
+            # ... so the third call fails fast without touching the wire.
+            with pytest.raises(CircuitOpen, match="probe allowed"):
+                client.request("query", session="s")
+            # After the cooldown the half-open probe goes through; a
+            # healthy server closes the circuit again.  (Re-dial after
+            # flipping the flag: the last reconnect above was accepted
+            # by the still-unhealthy server, which doomed that socket.)
+            state["healthy"] = True
+            time.sleep(0.25)
+            client.reconnect(retries=3, delay=0.01)
+            assert client.request("query", session="s")["ok"] is True
+            assert client._circuit_failures == 0
+            # Closed for real: the next call is not a probe.
+            assert client.request("query", session="s")["ok"] is True
+            client.close()
+
+    def test_half_open_probe_failure_reopens(self, tmp_path):
+        def handler(index, conn):
+            conn.close()
+
+        path = tmp_path / "cb2.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(
+                f"unix:{path}",
+                retries=0,
+                circuit_threshold=1,
+                circuit_cooldown=0.1,
+            )
+            with pytest.raises(ConnectionError):
+                client.request("query", session="s")
+            with pytest.raises(CircuitOpen):
+                client.request("query", session="s")
+            time.sleep(0.15)
+            client.reconnect(retries=3, delay=0.01)
+            # The probe itself fails -> straight back to open.
+            with pytest.raises(ConnectionError):
+                client.request("query", session="s")
+            with pytest.raises(CircuitOpen):
+                client.request("query", session="s")
+            client._sock.close()
+
+    def test_breaker_disabled_by_default(self, tmp_path):
+        def handler(index, conn):
+            conn.close()
+
+        path = tmp_path / "cb3.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", retries=0)
+            for _ in range(5):
+                with pytest.raises(ConnectionError):
+                    client.request("query", session="s")
+                client.reconnect(retries=3, delay=0.01)
+            # Still ConnectionError, never CircuitOpen.
+
+
+class TestBrokenFraming:
+    def test_truncated_frame_invalidates_and_normalises(self, tmp_path):
+        def handler(index, conn):
+            buffer = wire.FrameBuffer()
+            doc = wire.recv_frame(conn, buffer)
+            if doc is None:
+                return
+            # Half a reply, then FIN: truncate-on-close.
+            conn.sendall(b"\x00\x00\x00\x40" + b'{"ok": true, "seq"')
+            conn.close()
+
+        path = tmp_path / "trunc.sock"
+        with _ScriptedServer(path, handler):
+            client = Client(f"unix:{path}", retries=0)
+            with pytest.raises(ConnectionError, match="framing"):
+                client.request("query", session="s")
+            # Invalidated: no mis-parse from mid-frame on a dead conn.
+            with pytest.raises(ConnectionError, match="invalidated"):
+                client.request("query", session="s")

@@ -411,3 +411,41 @@ class TestSnapshotDurabilityRace:
                     "durable when it was written"
                 )
         assert commits > 0 and snapshots >= 3  # the race actually ran
+
+
+class TestPing:
+    """The health verb: sessionless, cheap, honest about degradation."""
+
+    def test_ping_needs_no_session(self, tmp_path):
+        config = ServerConfig(unix_path=str(tmp_path / "ping.sock"))
+        with serve_in_thread(config) as handle:
+            with Client(handle.connect_address()) as client:
+                reply = client.ping()
+                assert reply["ok"] is True
+                assert reply["pong"] is True
+                assert reply["role"] == "server"
+                assert reply["sessions"] == 0
+                assert reply["degraded"] is False
+                client.hello("ping-s", n=2)
+                assert client.ping()["sessions"] == 1
+
+    def test_ping_answers_on_a_wal_degraded_server(self, tmp_path):
+        """A halted server refuses ingest but still answers health
+        probes -- and says so, instead of presenting as healthy."""
+        config = ServerConfig(
+            unix_path=str(tmp_path / "deg.sock"),
+            wal_dir=str(tmp_path / "wal"),
+        )
+        with serve_in_thread(config) as handle:
+            with Client(handle.connect_address()) as client:
+                client.hello("s", n=2)
+
+                def broken_sync(max_records=None):
+                    raise OSError(28, "No space left on device")
+
+                handle.server.wal.sync = broken_sync
+                with pytest.raises(ReplyError) as err:
+                    client.checkpoint("s", pid=0)
+                assert err.value.code == "wal_failure"
+                reply = client.ping()
+                assert reply["ok"] is True and reply["degraded"] is True

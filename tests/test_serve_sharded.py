@@ -340,3 +340,24 @@ class TestRouterErrorPaths:
             with pytest.raises(ReplyError) as err:
                 client.send("err-s", src=0, dst=0)
             assert err.value.code == "bad_session"
+
+
+class TestRouterPing:
+    """Sessionless health on the router: topology at a glance."""
+
+    def test_ping_reports_topology(self, handle):
+        with Client(handle.connect_address()) as client:
+            reply = client.ping()
+            assert reply["ok"] is True
+            assert reply["pong"] is True
+            assert reply["role"] == "router"
+            assert reply["shards"] == SHARDS
+            assert reply["shards_up"] == SHARDS
+            assert reply["degraded"] == []
+
+    def test_stats_rows_carry_degraded_flag(self, handle):
+        with Client(handle.connect_address()) as client:
+            stats = client.call({"kind": "stats", "seq": "deg"})
+            assert [row["degraded"] for row in stats["shards"]] == (
+                [False] * SHARDS
+            )

@@ -1,9 +1,12 @@
 """The wire codec: length-prefixed canonical-JSON frames, sans-IO."""
 
 import json
+import random
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import wire
 
@@ -151,3 +154,86 @@ class TestErrorReply:
         assert reply == {
             "ok": False, "seq": 42, "error": "overloaded", "detail": "queue full",
         }
+
+
+@pytest.mark.tier2
+class TestAdversarialFragmentation:
+    """Chaos-proxy-style re-chunking must never change what decodes.
+
+    The chaos proxy (:mod:`repro.serve.chaosproxy`) re-chunks the byte
+    stream into 1-byte writes and tiny random shreds, so every split
+    point -- including inside the 4-byte length prefix -- occurs in
+    practice.  These properties pin the sans-IO reassembly: any
+    partition of the byte stream decodes to exactly the documents a
+    whole-stream feed decodes, in order, byte-identically re-encoded.
+    """
+
+    docs_strategy = st.lists(
+        st.dictionaries(
+            st.sampled_from(["kind", "seq", "session", "payload", "x"]),
+            st.one_of(
+                st.integers(min_value=-(2**31), max_value=2**31),
+                st.text(max_size=12),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=5,
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(docs=docs_strategy, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_random_split_points_decode_identically(self, docs, seed):
+        stream = b"".join(wire.encode_frame(d) for d in docs)
+        whole = wire.FrameBuffer()
+        expected = whole.feed(stream)
+        assert expected == docs
+
+        rng = random.Random(seed)
+        shredded = wire.FrameBuffer()
+        got = []
+        i = 0
+        while i < len(stream):
+            take = rng.randint(1, 7)
+            got.extend(shredded.feed(stream[i : i + take]))
+            i += take
+        assert got == expected
+        assert shredded.pending() == 0
+        # Byte-identical, not just equal: canonical JSON means equal
+        # documents re-encode to equal bytes.
+        assert [wire.encode_frame(d) for d in got] == [
+            wire.encode_frame(d) for d in expected
+        ]
+
+    @given(docs=docs_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_one_byte_feeds_across_length_prefix(self, docs):
+        stream = b"".join(wire.encode_frame(d) for d in docs)
+        buffer = wire.FrameBuffer()
+        got = []
+        for i in range(len(stream)):
+            got.extend(buffer.feed(stream[i : i + 1]))
+        assert got == docs
+        assert buffer.pending() == 0
+
+    @given(docs=docs_strategy, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_raw_buffer_agrees_with_decoding_buffer(self, docs, seed):
+        stream = b"".join(wire.encode_frame(d) for d in docs)
+        rng = random.Random(seed)
+        raw = wire.RawFrameBuffer()
+        payloads = []
+        i = 0
+        while i < len(stream):
+            take = rng.randint(1, 5)
+            raw.feed(stream[i : i + take])
+            while True:
+                payload = raw.next_payload()
+                if payload is None:
+                    break
+                payloads.append(payload)
+            i += take
+        assert [wire.decode_frame(p) for p in payloads] == docs
+        assert stream == b"".join(wire.frame_prefix(p) + p for p in payloads)

@@ -37,3 +37,15 @@ if [ "${REPRO_CHAOS:-0}" = "1" ]; then
         PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m pytest tests/chaos -x -q
 fi
+
+# Wire-chaos stage (opt-in: drives the sharded deployment through the
+# seeded fault-injection proxy and crash-loops a shard).  A single
+# always-on smoke cell already runs inside the tier-1 suite above;
+# REPRO_WIRE_CHAOS=1 runs the full grid, REPRO_WIRE_CHAOS_CELLS picks
+# how many (seed, fault-profile) cells (default 4, 12 is the grid).
+if [ "${REPRO_WIRE_CHAOS:-0}" = "1" ]; then
+    echo "== wire chaos: seeded fault-injection grid (${REPRO_WIRE_CHAOS_CELLS:-4} cells) =="
+    REPRO_WIRE_CHAOS=1 REPRO_WIRE_CHAOS_CELLS="${REPRO_WIRE_CHAOS_CELLS:-4}" \
+        PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest tests/chaos/test_wire_chaos.py -x -q
+fi
